@@ -1,0 +1,264 @@
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation, plus ablations on the design choices called out in
+// DESIGN.md. Key reproduced quantities are attached as custom benchmark
+// metrics so `go test -bench` output doubles as the experiment record:
+//
+//	Fig. 2  → BenchmarkFig2CapReduction
+//	Fig. 3  → BenchmarkFig3CurrentMirror
+//	Table 1 → BenchmarkTable1Case1…4 (gbw_MHz, pm_deg, gain_dB, power_mW
+//	          metrics carry synthesized values; x* the extracted ones)
+//	Fig. 5  → BenchmarkFig5Layout (area_um2)
+//	Fig. 1  → BenchmarkFlowProposed / BenchmarkFlowTraditional
+//	§6      → BenchmarkSCIntegrator
+package loas
+
+import (
+	"math/cmplx"
+	"testing"
+
+	"loas/internal/circuit"
+	"loas/internal/core"
+	"loas/internal/layout/cairo"
+	"loas/internal/mc"
+	"loas/internal/repro"
+	"loas/internal/scfilter"
+	"loas/internal/sizing"
+	"loas/internal/techno"
+)
+
+func BenchmarkFig2CapReduction(b *testing.B) {
+	var last []repro.Fig2Point
+	for i := 0; i < b.N; i++ {
+		last = repro.Fig2(64)
+	}
+	b.ReportMetric(last[3].External, "F_ext_nf4")
+	b.ReportMetric(last[3].Internal, "F_int_nf4")
+}
+
+func BenchmarkFig3CurrentMirror(b *testing.B) {
+	tech := techno.Default060()
+	var r *repro.Fig3Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = repro.Fig3(tech)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.CentroidErr["M3"], "centroid_M3_pitch")
+	b.ReportMetric(float64(r.Pattern.InsertedDummies), "dummies")
+	b.ReportMetric(float64(r.Stack.Width)*1e-3, "width_um")
+}
+
+func benchTable1Case(b *testing.B, c int) {
+	tech := techno.Default060()
+	spec := sizing.Default65MHz()
+	var res *core.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = core.Synthesize(tech, spec, core.Options{Case: c})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Synthesized.GBW/1e6, "gbw_MHz")
+	b.ReportMetric(res.Extracted.GBW/1e6, "xgbw_MHz")
+	b.ReportMetric(res.Synthesized.PhaseDeg, "pm_deg")
+	b.ReportMetric(res.Extracted.PhaseDeg, "xpm_deg")
+	b.ReportMetric(res.Extracted.DCGainDB, "xgain_dB")
+	b.ReportMetric(res.Extracted.Power*1e3, "xpower_mW")
+	b.ReportMetric(float64(res.LayoutCalls), "layout_calls")
+}
+
+func BenchmarkTable1Case1(b *testing.B) { benchTable1Case(b, 1) }
+func BenchmarkTable1Case2(b *testing.B) { benchTable1Case(b, 2) }
+func BenchmarkTable1Case3(b *testing.B) { benchTable1Case(b, 3) }
+func BenchmarkTable1Case4(b *testing.B) { benchTable1Case(b, 4) }
+
+func BenchmarkFig5Layout(b *testing.B) {
+	tech := techno.Default060()
+	spec := sizing.Default65MHz()
+	var r *repro.Fig5Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = repro.Fig5(tech, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.Plan.Parasitics.AreaUM2, "area_um2")
+}
+
+func BenchmarkFlowProposed(b *testing.B) {
+	tech := techno.Default060()
+	spec := sizing.Default65MHz()
+	var res *core.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = core.Synthesize(tech, spec, core.Options{Case: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.LayoutCalls), "layout_calls")
+	b.ReportMetric(float64(res.SizingPasses), "sizing_passes")
+}
+
+func BenchmarkFlowTraditional(b *testing.B) {
+	tech := techno.Default060()
+	spec := sizing.Default65MHz()
+	var res *core.TraditionalResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = core.TraditionalFlow(tech, spec, 10, core.Options{}.Shape)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.Iterations), "full_iterations")
+	b.ReportMetric(res.GBWOverdrive, "gbw_overdrive")
+}
+
+func BenchmarkSCIntegrator(b *testing.B) {
+	g := scfilter.Integrator{
+		OTA: scfilter.OTAModel{DCGain: 4800, GBW: 65e6, SR: 78e6},
+		Cs:  1e-12, Cf: 4e-12, Fs: 10e6,
+	}
+	var mag float64
+	for i := 0; i < b.N; i++ {
+		mag = cmplx.Abs(g.H(10e3))
+	}
+	b.ReportMetric(sizing.DB(mag), "H10k_dB")
+	b.ReportMetric(g.SettlingError()*1e6, "settle_ppm")
+}
+
+// --- Ablations (design choices called out in DESIGN.md) -----------------
+
+// BenchmarkAblationFoldStyle quantifies the frequency benefit of the
+// paper's drain-internal folding rule: the drain-bulk capacitance of a
+// 48 µm transistor under the three styles of Fig. 2.
+func BenchmarkAblationFoldStyle(b *testing.B) {
+	tech := techno.Default060()
+	var u, in, ex float64
+	for i := 0; i < b.N; i++ {
+		u, in, ex = repro.FoldStyleComparison(tech, 48e-6, 4)
+	}
+	b.ReportMetric(u*1e15, "cdb_unfolded_fF")
+	b.ReportMetric(in*1e15, "cdb_internal_fF")
+	b.ReportMetric(ex*1e15, "cdb_external_fF")
+}
+
+// BenchmarkAblationEvalMethod compares the closed-form pole-counting
+// phase margin against the simulated evaluation the sizing plan actually
+// uses and the extracted measurement — the shared-models accuracy
+// argument of the paper, quantified.
+func BenchmarkAblationEvalMethod(b *testing.B) {
+	tech := techno.Default060()
+	spec := sizing.Default65MHz()
+	var abl *repro.EvalAblation
+	var err error
+	for i := 0; i < b.N; i++ {
+		abl, err = repro.RunEvalAblation(tech, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(abl.PMAnalytic, "pm_analytic_deg")
+	b.ReportMetric(abl.PMSimulated, "pm_simulated_deg")
+	b.ReportMetric(abl.PMExtracted, "pm_extracted_deg")
+}
+
+// BenchmarkConvergenceTrace measures the paper's parasitic fixpoint loop
+// call by call.
+func BenchmarkConvergenceTrace(b *testing.B) {
+	tech := techno.Default060()
+	spec := sizing.Default65MHz()
+	var pts []repro.ConvergencePoint
+	var err error
+	for i := 0; i < b.N; i++ {
+		pts, err = repro.ConvergenceTrace(tech, spec, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(pts)), "layout_calls")
+	b.ReportMetric(pts[len(pts)-1].DeltaF*1e15, "final_delta_fF")
+}
+
+// BenchmarkAblationShapeConstraint measures how the shape constraint
+// steers the floorplan: minimal-area versus a binding width cap, which
+// forces taller fold/split choices and costs area.
+func BenchmarkAblationShapeConstraint(b *testing.B) {
+	tech := techno.Default060()
+	spec := sizing.Default65MHz()
+	ps, _ := sizing.Case(1)
+	d, err := sizing.SizeFoldedCascode(tech, spec, ps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var free, narrow float64
+	for i := 0; i < b.N; i++ {
+		pf, err := d.Layout().Plan(tech, core.Options{}.Shape)
+		if err != nil {
+			b.Fatal(err)
+		}
+		free = pf.Parasitics.AreaUM2
+		pn, err := d.Layout().Plan(tech, cairo.Constraint{MaxW: 70000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		narrow = pn.Parasitics.AreaUM2
+	}
+	b.ReportMetric(free, "area_free_um2")
+	b.ReportMetric(narrow, "area_constrained_um2")
+}
+
+// BenchmarkTwoStageSizing exercises the second topology of the library
+// (the paper's "hierarchy simplifies the addition of new topologies").
+func BenchmarkTwoStageSizing(b *testing.B) {
+	tech := techno.Default060()
+	spec := sizing.OTASpec{VDD: 3.3, GBW: 20e6, PM: 65, CL: 5e-12,
+		ICMLow: 0.4, ICMHigh: 1.8, OutLow: 0.4, OutHigh: 2.9}
+	ps, _ := sizing.Case(1)
+	var d *sizing.TwoStage
+	var err error
+	for i := 0; i < b.N; i++ {
+		d, err = sizing.SizeTwoStage(tech, spec, ps)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(d.Predicted.GBW/1e6, "gbw_MHz")
+	b.ReportMetric(d.Predicted.PhaseDeg, "pm_deg")
+	b.ReportMetric(d.CC*1e12, "cc_pF")
+}
+
+// BenchmarkMonteCarloOffset measures the statistical verification
+// interface (8 mismatch samples with full DC nulling each).
+func BenchmarkMonteCarloOffset(b *testing.B) {
+	tech := techno.Default060()
+	spec := sizing.Default65MHz()
+	ps, _ := sizing.Case(1)
+	d, err := sizing.SizeFoldedCascode(tech, spec, ps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := mc.OffsetConfig{
+		Build:   func() *circuit.Circuit { return d.Netlist("mcb") },
+		InP:     sizing.NetInP,
+		InN:     sizing.NetInN,
+		Out:     sizing.NetOut,
+		VicmDC:  0.645,
+		VoutMid: 1.41,
+		Temp:    tech.Temp,
+		NodeSet: d.NodeSet(),
+	}
+	var stats *mc.OffsetStats
+	for i := 0; i < b.N; i++ {
+		stats, err = mc.RunOffset(cfg, 8, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(stats.SigmaV*1e3, "sigma_mV")
+}

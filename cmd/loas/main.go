@@ -1,0 +1,266 @@
+// Command loas reproduces the experiments of "Layout-Oriented Synthesis
+// of High Performance Analog Circuits" (DATE 2000) from the command line.
+//
+// Usage:
+//
+//	loas fig2                  capacitance reduction factor table
+//	loas fig3 [-svg file]      current-mirror stack generation
+//	loas table1 [-case N]      the four-case sizing/extraction table
+//	loas fig5 [-svg file]      generate the case-4 OTA layout
+//	loas flow                  proposed vs traditional flow comparison
+//	loas netlist [-case N]     print the extracted SPICE-like netlist
+//	loas mc [-n N]             Monte-Carlo mismatch offset analysis
+//	loas techeval              technology characterization report
+//	loas twostage              size the two-stage Miller OTA
+//	loas converge              per-call parasitic convergence trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"loas/internal/circuit"
+	"loas/internal/core"
+	"loas/internal/layout/cairo"
+	"loas/internal/mc"
+	"loas/internal/repro"
+	"loas/internal/sizing"
+	"loas/internal/techeval"
+	"loas/internal/techno"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	tech := techno.Default060()
+	spec := sizing.Default65MHz()
+
+	var err error
+	switch cmd {
+	case "fig2":
+		fmt.Print(repro.Fig2Text(20))
+	case "fig3":
+		err = runFig3(tech, args)
+	case "table1":
+		err = runTable1(tech, spec, args)
+	case "fig5":
+		err = runFig5(tech, spec, args)
+	case "flow":
+		var s string
+		s, err = repro.FlowComparison(tech, spec)
+		fmt.Print(s)
+	case "netlist":
+		err = runNetlist(tech, spec, args)
+	case "mc":
+		err = runMC(tech, spec, args)
+	case "techeval":
+		fmt.Print(techeval.Characterize(tech, techno.NMOS).Summary() + "\n")
+		fmt.Print(techeval.Characterize(tech, techno.PMOS).Summary() + "\n")
+	case "twostage":
+		err = runTwoStage(tech, args)
+	case "converge":
+		var pts []repro.ConvergencePoint
+		pts, err = repro.ConvergenceTrace(tech, spec, 8)
+		if err == nil {
+			fmt.Print(repro.ConvergenceText(pts))
+		}
+	case "corners":
+		err = runCorners(tech, spec)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loas:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr,
+		`usage: loas <fig2|fig3|table1|fig5|flow|netlist|mc|techeval|twostage|converge|corners> [flags]`)
+}
+
+func runMC(tech *techno.Tech, spec sizing.OTASpec, args []string) error {
+	fs := flag.NewFlagSet("mc", flag.ExitOnError)
+	n := fs.Int("n", 25, "number of Monte-Carlo samples")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ps, _ := sizing.Case(1)
+	d, err := sizing.SizeFoldedCascode(tech, spec, ps)
+	if err != nil {
+		return err
+	}
+	cfg := mc.OffsetConfig{
+		Build:   func() *circuit.Circuit { return d.Netlist("mc") },
+		InP:     sizing.NetInP,
+		InN:     sizing.NetInN,
+		Out:     sizing.NetOut,
+		VicmDC:  0.5 * (spec.ICMLow + spec.ICMHigh),
+		VoutMid: 0.5 * (spec.OutLow + spec.OutHigh),
+		Temp:    tech.Temp,
+		NodeSet: d.NodeSet(),
+	}
+	stats, err := mc.RunOffset(cfg, *n, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Monte-Carlo offset (%d samples, %d failed):\n", stats.N, stats.Failures)
+	fmt.Printf("  mean  %8.3f mV\n  sigma %8.3f mV\n  worst %8.3f mV\n",
+		stats.MeanV*1e3, stats.SigmaV*1e3, stats.WorstAbsV*1e3)
+	est := mc.EstimateOffsetSigma(&tech.P,
+		d.Devices[sizing.MP1].W, d.Devices[sizing.MP1].L,
+		&tech.N, d.Devices[sizing.MN5].W, d.Devices[sizing.MN5].L, 0.7)
+	fmt.Printf("  analytic estimate: %8.3f mV\n", est*1e3)
+	return nil
+}
+
+func runTwoStage(tech *techno.Tech, args []string) error {
+	fs := flag.NewFlagSet("twostage", flag.ExitOnError)
+	gbw := fs.Float64("gbw", 20e6, "gain-bandwidth target (Hz)")
+	cl := fs.Float64("cl", 5e-12, "load capacitance (F)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec := sizing.OTASpec{VDD: 3.3, GBW: *gbw, PM: 65, CL: *cl,
+		ICMLow: 0.4, ICMHigh: 1.8, OutLow: 0.4, OutHigh: 2.9}
+	ps, _ := sizing.Case(1)
+	d, err := sizing.SizeTwoStage(tech, spec, ps)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("two-stage Miller OTA: Itail %.1f uA, I6 %.1f uA, CC %.2f pF, RZ %.0f ohm\n",
+		d.Itail*1e6, d.I6*1e6, d.CC*1e12, d.RZ)
+	fmt.Printf("  gain %.1f dB, GBW %.2f MHz, PM %.1f deg, SR %.1f V/us, power %.2f mW\n",
+		d.Predicted.DCGainDB, d.Predicted.GBW/1e6, d.Predicted.PhaseDeg,
+		d.Predicted.SlewRate/1e6, d.Predicted.Power*1e3)
+	plan, err := d.Layout().Plan(tech, cairo.Constraint{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  layout: %.1f x %.1f um (%.0f um2)\n",
+		plan.Parasitics.WidthUM, plan.Parasitics.HeightUM, plan.Parasitics.AreaUM2)
+	return nil
+}
+
+func runCorners(tech *techno.Tech, spec sizing.OTASpec) error {
+	res, err := core.Synthesize(tech, spec, core.Options{Case: 4})
+	if err != nil {
+		return err
+	}
+	corners, err := core.CornerSweep(tech, res)
+	if err != nil {
+		return err
+	}
+	fmt.Println("process-corner verification of the case-4 design (tracking bias):")
+	for _, c := range []techno.Corner{techno.CornerSS, techno.CornerSF,
+		techno.CornerTT, techno.CornerFS, techno.CornerFF} {
+		p := corners[c]
+		fmt.Printf("  %s: gain %.1f dB, GBW %.1f MHz, PM %.1f deg, power %.2f mW\n",
+			c, p.DCGainDB, p.GBW/1e6, p.PhaseDeg, p.Power*1e3)
+	}
+	return nil
+}
+
+func runFig3(tech *techno.Tech, args []string) error {
+	fs := flag.NewFlagSet("fig3", flag.ExitOnError)
+	svg := fs.String("svg", "", "write the mirror layout as SVG to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	text, err := repro.Fig3Text(tech)
+	if err != nil {
+		return err
+	}
+	fmt.Print(text)
+	if *svg != "" {
+		r, err := repro.Fig3(tech)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*svg)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := cairo.WriteSVG(f, r.Stack.Cell); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *svg)
+	}
+	return nil
+}
+
+func runTable1(tech *techno.Tech, spec sizing.OTASpec, args []string) error {
+	fs := flag.NewFlagSet("table1", flag.ExitOnError)
+	onlyCase := fs.Int("case", 0, "run a single case (1-4); 0 = all")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *onlyCase != 0 {
+		res, err := core.Synthesize(tech, spec, core.Options{Case: *onlyCase})
+		if err != nil {
+			return err
+		}
+		cases := []repro.Table1Case{{Case: *onlyCase, Result: res}}
+		fmt.Print(repro.Table1Text(cases, spec))
+		return nil
+	}
+	cases, err := repro.Table1(tech, spec)
+	if err != nil {
+		return err
+	}
+	fmt.Print(repro.Table1Text(cases, spec))
+	if bad := repro.Table1ShapeChecks(cases, spec); len(bad) > 0 {
+		fmt.Println("shape-check violations:")
+		for _, s := range bad {
+			fmt.Println("  -", s)
+		}
+	} else {
+		fmt.Println("all Table-1 qualitative shape checks hold.")
+	}
+	return nil
+}
+
+func runFig5(tech *techno.Tech, spec sizing.OTASpec, args []string) error {
+	fs := flag.NewFlagSet("fig5", flag.ExitOnError)
+	svg := fs.String("svg", "ota-layout.svg", "output SVG file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	r, err := repro.Fig5(tech, spec)
+	if err != nil {
+		return err
+	}
+	fmt.Print(repro.Fig5Text(r))
+	f, err := os.Create(*svg)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := r.WriteSVG(f); err != nil {
+		return err
+	}
+	fmt.Println("wrote", *svg)
+	return nil
+}
+
+func runNetlist(tech *techno.Tech, spec sizing.OTASpec, args []string) error {
+	fs := flag.NewFlagSet("netlist", flag.ExitOnError)
+	c := fs.Int("case", 4, "Table-1 case (1-4)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	res, err := core.Synthesize(tech, spec, core.Options{Case: *c})
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.ExtractedCkt.Export())
+	return nil
+}

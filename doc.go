@@ -1,0 +1,11 @@
+// Package loas reproduces "Layout-Oriented Synthesis of High Performance
+// Analog Circuits" (Dessouky, Louërat, Porte — DATE 2000): a flow that
+// couples analog circuit sizing with procedural layout generation so that
+// layout parasitics are estimated and compensated during sizing rather
+// than discovered after it.
+//
+// The repository root holds the benchmark harness (one benchmark per
+// table/figure of the paper's evaluation, see bench_test.go); the library
+// lives under internal/ and the runnable entry points under cmd/loas and
+// examples/. Start with README.md, DESIGN.md and EXPERIMENTS.md.
+package loas

@@ -1,0 +1,49 @@
+// Otasynth reproduces the paper's full evaluation: Table 1 (four sizing
+// cases against extracted-netlist simulation), the qualitative shape
+// checks, and the Fig. 5 layout of the converged case-4 design.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"loas/internal/repro"
+	"loas/internal/sizing"
+	"loas/internal/techno"
+)
+
+func main() {
+	tech := techno.Default060()
+	spec := sizing.Default65MHz()
+
+	cases, err := repro.Table1(tech, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(repro.Table1Text(cases, spec))
+	if bad := repro.Table1ShapeChecks(cases, spec); len(bad) > 0 {
+		fmt.Println("shape-check violations:")
+		for _, s := range bad {
+			fmt.Println("  -", s)
+		}
+	} else {
+		fmt.Println("all Table-1 qualitative shape checks hold.")
+	}
+
+	fig5, err := repro.Fig5(tech, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(repro.Fig5Text(fig5))
+	f, err := os.Create("ota-layout.svg")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := fig5.WriteSVG(f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote ota-layout.svg")
+}

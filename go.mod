@@ -1,0 +1,3 @@
+module loas
+
+go 1.22

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"loas/internal/layout/extract"
+	"loas/internal/sizing"
+	"loas/internal/techno"
+)
+
+var (
+	runOnce sync.Once
+	results [5]*Result // index by case
+	runErr  error
+)
+
+// allCases synthesizes the four Table-1 cases once for the whole package.
+func allCases(t *testing.T) [5]*Result {
+	t.Helper()
+	runOnce.Do(func() {
+		tech := techno.Default060()
+		spec := sizing.Default65MHz()
+		for c := 1; c <= 4; c++ {
+			res, err := Synthesize(tech, spec, Options{Case: c})
+			if err != nil {
+				runErr = err
+				return
+			}
+			results[c] = res
+		}
+	})
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	return results
+}
+
+func TestCase4MatchesExtraction(t *testing.T) {
+	res := allCases(t)[4]
+	s, x := res.Synthesized, res.Extracted
+	if rel := math.Abs(s.GBW-x.GBW) / x.GBW; rel > 0.02 {
+		t.Fatalf("case 4 GBW mismatch: %.2f vs %.2f MHz", s.GBW/1e6, x.GBW/1e6)
+	}
+	if math.Abs(s.PhaseDeg-x.PhaseDeg) > 1.0 {
+		t.Fatalf("case 4 PM mismatch: %.2f vs %.2f°", s.PhaseDeg, x.PhaseDeg)
+	}
+	if math.Abs(s.DCGainDB-x.DCGainDB) > 0.5 {
+		t.Fatalf("case 4 gain mismatch: %.2f vs %.2f dB", s.DCGainDB, x.DCGainDB)
+	}
+	if rel := math.Abs(s.SlewRate-x.SlewRate) / x.SlewRate; rel > 0.05 {
+		t.Fatalf("case 4 SR mismatch: %.1f vs %.1f V/µs", s.SlewRate/1e6, x.SlewRate/1e6)
+	}
+}
+
+func TestCase4MeetsSpec(t *testing.T) {
+	res := allCases(t)[4]
+	spec := sizing.Default65MHz()
+	if res.Extracted.GBW < 0.99*spec.GBW {
+		t.Fatalf("case 4 extracted GBW %.2f MHz misses spec", res.Extracted.GBW/1e6)
+	}
+	if res.Extracted.PhaseDeg < spec.PM-1 {
+		t.Fatalf("case 4 extracted PM %.2f° misses spec", res.Extracted.PhaseDeg)
+	}
+}
+
+func TestCase1MissesSpecInExtraction(t *testing.T) {
+	res := allCases(t)[1]
+	spec := sizing.Default65MHz()
+	if res.Extracted.GBW >= spec.GBW {
+		t.Fatalf("case 1 extracted GBW %.2f MHz should miss spec", res.Extracted.GBW/1e6)
+	}
+	if res.Extracted.PhaseDeg >= spec.PM {
+		t.Fatalf("case 1 extracted PM %.2f° should miss spec", res.Extracted.PhaseDeg)
+	}
+	// But its own evaluation believed the spec was met.
+	if res.Synthesized.GBW < 0.99*spec.GBW {
+		t.Fatal("case 1 synthesized GBW should look on-spec")
+	}
+}
+
+func TestCase2OverShootsAndDegrades(t *testing.T) {
+	r := allCases(t)
+	spec := sizing.Default65MHz()
+	c1, c2 := r[1], r[2]
+	if c2.Extracted.GBW <= spec.GBW {
+		t.Fatalf("case 2 extracted GBW %.2f should exceed spec", c2.Extracted.GBW/1e6)
+	}
+	if c2.Extracted.PhaseDeg <= spec.PM {
+		t.Fatalf("case 2 extracted PM %.2f should exceed spec", c2.Extracted.PhaseDeg)
+	}
+	if c2.Extracted.DCGainDB >= c1.Extracted.DCGainDB {
+		t.Fatal("case 2 should lose DC gain versus case 1")
+	}
+	if c2.Extracted.Rout >= c1.Extracted.Rout {
+		t.Fatal("case 2 should lose output resistance versus case 1")
+	}
+	if c2.Extracted.Power <= c1.Extracted.Power {
+		t.Fatal("case 2 should burn more power than case 1")
+	}
+}
+
+func TestCase3SlightResidual(t *testing.T) {
+	res := allCases(t)[3]
+	s, x := res.Synthesized, res.Extracted
+	// Residual mismatch from neglected routing stays within 5%.
+	if rel := math.Abs(s.GBW-x.GBW) / s.GBW; rel > 0.05 {
+		t.Fatalf("case 3 GBW residual %.1f%% too large", rel*100)
+	}
+	// Worse match than case 4 on the bandwidth family.
+	c4 := allCases(t)[4]
+	res3 := math.Abs(s.GBW-x.GBW) / s.GBW
+	res4 := math.Abs(c4.Synthesized.GBW-c4.Extracted.GBW) / c4.Synthesized.GBW
+	if res3 < res4 {
+		t.Fatalf("case 3 (%.3f%%) should match worse than case 4 (%.3f%%)",
+			res3*100, res4*100)
+	}
+}
+
+func TestParasiticConvergence(t *testing.T) {
+	r := allCases(t)
+	for _, c := range []int{3, 4} {
+		if n := r[c].LayoutCalls; n < 2 || n > 6 {
+			t.Fatalf("case %d used %d layout calls, expected a handful", c, n)
+		}
+	}
+	for _, c := range []int{1, 2} {
+		if n := r[c].LayoutCalls; n != 1 {
+			t.Fatalf("case %d should need exactly one layout call, got %d", c, n)
+		}
+	}
+}
+
+func TestParasiticFixpoint(t *testing.T) {
+	// Re-running the layout on the converged design changes nothing
+	// beyond the convergence tolerance.
+	res := allCases(t)[4]
+	plan, err := res.Design.Layout().Plan(res.Design.Tech, Options{}.Shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := extract.MaxDelta(res.Parasitics, plan.Parasitics); d > 1e-15 {
+		t.Fatalf("fixpoint violated: re-plan moved parasitics by %.3g fF", d*1e15)
+	}
+}
+
+func TestRuntimeWithinPaperBudget(t *testing.T) {
+	// The paper reports "sizing time … does not exceed two minutes";
+	// a software-only reproduction should beat that by a wide margin.
+	res := allCases(t)[4]
+	if res.Elapsed.Seconds() > 120 {
+		t.Fatalf("case 4 took %s", res.Elapsed)
+	}
+}
+
+func TestExtractedNetlistContents(t *testing.T) {
+	res := allCases(t)[4]
+	deck := res.ExtractedCkt.Export()
+	for _, want := range []string{"MMP1", "MMN2C", "Cpar_out", "Ctbload"} {
+		if want == "Ctbload" {
+			continue // the bench adds the load, not the netlist
+		}
+		if !strings.Contains(deck, want) {
+			t.Fatalf("extracted deck missing %q", want)
+		}
+	}
+	// Coupling capacitors present.
+	if !strings.Contains(deck, "Ccc_") {
+		t.Fatal("extracted deck missing coupling capacitors")
+	}
+}
+
+func TestTraditionalFlowConverges(t *testing.T) {
+	tech := techno.Default060()
+	spec := sizing.Default65MHz()
+	res, err := TraditionalFlow(tech, spec, 10, Options{}.Shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations < 2 {
+		t.Fatalf("traditional flow converged in %d iteration(s) — the whole "+
+			"point is that it should need several", res.Iterations)
+	}
+	if res.Extracted.GBW < 0.98*spec.GBW {
+		t.Fatalf("traditional flow missed GBW: %.2f MHz", res.Extracted.GBW/1e6)
+	}
+	if res.GBWOverdrive <= 1.0 {
+		t.Fatal("traditional flow should have had to over-design")
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	tech := techno.Default060()
+	if _, err := Synthesize(tech, sizing.Default65MHz(), Options{Case: 7}); err == nil {
+		t.Fatal("case 7 accepted")
+	}
+}
+
+func TestCornerSweep(t *testing.T) {
+	res := allCases(t)[4]
+	tech := techno.Default060()
+	corners, err := CornerSweep(tech, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt := corners[techno.CornerTT]
+	ss := corners[techno.CornerSS]
+	ff := corners[techno.CornerFF]
+	// Fast silicon is faster, slow is slower; nominal in between.
+	if !(ss.GBW < tt.GBW && tt.GBW < ff.GBW) {
+		t.Fatalf("corner GBW ordering broken: ss %.1f, tt %.1f, ff %.1f MHz",
+			ss.GBW/1e6, tt.GBW/1e6, ff.GBW/1e6)
+	}
+	// The design stays functional at every corner: gain within 6 dB of
+	// nominal, phase margin above 45°.
+	for c, p := range corners {
+		if math.Abs(p.DCGainDB-tt.DCGainDB) > 6 {
+			t.Fatalf("corner %s gain %.1f dB too far from nominal %.1f", c, p.DCGainDB, tt.DCGainDB)
+		}
+		if p.PhaseDeg < 45 {
+			t.Fatalf("corner %s phase margin %.1f° collapsed", c, p.PhaseDeg)
+		}
+	}
+}

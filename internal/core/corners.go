@@ -1,0 +1,67 @@
+package core
+
+import (
+	"fmt"
+
+	"loas/internal/circuit"
+	"loas/internal/meas"
+	"loas/internal/sizing"
+	"loas/internal/techno"
+)
+
+// VerifyAtCorner re-measures a synthesized design's extracted netlist with
+// the model cards shifted to a process corner. The bias voltages are
+// recomputed on the corner models (the role of an on-chip bias generator
+// that tracks the process — fixed external voltages would starve the
+// current sinks at the skew corners), while the device sizes stay as the
+// nominal design chose them. This probes the paper's claim that fixing
+// operating points during synthesis "increases the reliability of the
+// produced circuits".
+func VerifyAtCorner(tech *techno.Tech, corner techno.Corner, res *Result) (*sizing.Performance, error) {
+	ct, err := tech.AtCorner(corner)
+	if err != nil {
+		return nil, err
+	}
+	bias, err := res.Design.BiasFor(ct)
+	if err != nil {
+		return nil, fmt.Errorf("core: corner %s bias: %w", corner, err)
+	}
+	build := func() *circuit.Circuit {
+		ckt := ExtractedNetlist(tech, res.Design, res.Parasitics)
+		for _, m := range ckt.MOSFETs() {
+			m.Dev.Card = ct.Card(m.Dev.Card.Type)
+		}
+		for _, v := range ckt.VSources() {
+			switch v.Name {
+			case "bn":
+				v.DC = bias[sizing.NetVBN]
+			case "bp":
+				v.DC = bias[sizing.NetVBP]
+			case "c1":
+				v.DC = bias[sizing.NetVC1]
+			case "c3":
+				v.DC = bias[sizing.NetVC3]
+			}
+		}
+		return ckt
+	}
+	rep, err := meas.Measure(OTABench(tech, res.Design, build))
+	if err != nil {
+		return nil, fmt.Errorf("core: corner %s: %w", corner, err)
+	}
+	return &rep.Perf, nil
+}
+
+// CornerSweep verifies the design at all five corners.
+func CornerSweep(tech *techno.Tech, res *Result) (map[techno.Corner]sizing.Performance, error) {
+	out := map[techno.Corner]sizing.Performance{}
+	for _, c := range []techno.Corner{techno.CornerTT, techno.CornerSS,
+		techno.CornerFF, techno.CornerSF, techno.CornerFS} {
+		p, err := VerifyAtCorner(tech, c, res)
+		if err != nil {
+			return nil, err
+		}
+		out[c] = *p
+	}
+	return out, nil
+}

@@ -1,0 +1,268 @@
+package device
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"loas/internal/techno"
+)
+
+func nmos(w, l float64) *MOS {
+	t := techno.Default060()
+	return &MOS{Card: &t.N, W: w, L: l}
+}
+
+func pmos(w, l float64) *MOS {
+	t := techno.Default060()
+	return &MOS{Card: &t.P, W: w, L: l}
+}
+
+const um = techno.Micron
+
+func TestNMOSCutoff(t *testing.T) {
+	m := nmos(10*um, 1*um)
+	op := m.Eval(0, 1.0, 0, 0, techno.TempNominal)
+	if op.ID > 1e-12 {
+		t.Fatalf("VGS=0 should be off, ID = %g", op.ID)
+	}
+	if op.Region != RegionOff && op.Region != RegionWeak {
+		t.Fatalf("region = %v, want off/weak", op.Region)
+	}
+}
+
+func TestNMOSStrongInversionCurrentScale(t *testing.T) {
+	// Current should be near β/2n·Veff² and scale with W.
+	m1 := nmos(10*um, 1*um)
+	m2 := nmos(20*um, 1*um)
+	op1 := m1.Eval(1.25, 2.0, 0, 0, techno.TempNominal)
+	op2 := m2.Eval(1.25, 2.0, 0, 0, techno.TempNominal)
+	if op1.ID <= 0 {
+		t.Fatalf("expected conduction, got %g", op1.ID)
+	}
+	ratio := op2.ID / op1.ID
+	if math.Abs(ratio-2) > 0.01 {
+		t.Fatalf("current should double with W: ratio = %g", ratio)
+	}
+}
+
+func TestNMOSSaturationRegion(t *testing.T) {
+	m := nmos(10*um, 1*um)
+	op := m.Eval(1.5, 3.0, 0, 0, techno.TempNominal)
+	if op.Region != RegionSaturation {
+		t.Fatalf("VDS=3 V at Veff≈0.7 V should saturate, got %v", op.Region)
+	}
+	opT := m.Eval(1.5, 0.05, 0, 0, techno.TempNominal)
+	if opT.Region != RegionTriode {
+		t.Fatalf("VDS=50 mV should be triode, got %v", opT.Region)
+	}
+	if opT.ID >= op.ID {
+		t.Fatalf("triode current %g should be below saturation %g", opT.ID, op.ID)
+	}
+}
+
+func TestPMOSMirrorSymmetry(t *testing.T) {
+	// A PMOS biased with mirrored voltages must carry the mirrored current.
+	n := nmos(10*um, 1*um)
+	p := pmos(10*um, 1*um)
+	p.Card = func() *techno.MOSCard { c := *n.Card; c.Type = techno.PMOS; return &c }()
+	vdd := 3.3
+	opN := n.Eval(1.2, 2.0, 0, 0, techno.TempNominal)
+	opP := p.Eval(vdd-1.2, vdd-2.0, vdd, vdd, techno.TempNominal)
+	if math.Abs(opN.ID+opP.ID) > 1e-9*math.Abs(opN.ID)+1e-15 {
+		t.Fatalf("PMOS mirror current %g should equal −NMOS %g", opP.ID, opN.ID)
+	}
+}
+
+func TestDrainSourceSymmetry(t *testing.T) {
+	// Swapping drain and source must flip the current sign exactly.
+	m := nmos(10*um, 1*um)
+	a := m.Eval(1.4, 1.0, 0.2, 0, techno.TempNominal)
+	b := m.Eval(1.4, 0.2, 1.0, 0, techno.TempNominal)
+	if math.Abs(a.ID+b.ID) > 1e-12*math.Abs(a.ID) {
+		t.Fatalf("S/D swap: %g vs %g", a.ID, b.ID)
+	}
+	if !b.Swapped {
+		t.Fatal("reverse conduction should set Swapped")
+	}
+}
+
+func TestGmMatchesFiniteDifference(t *testing.T) {
+	m := nmos(20*um, 0.8*um)
+	const h = 1e-5
+	op := m.Eval(1.3, 2.0, 0, 0, techno.TempNominal)
+	up := m.Eval(1.3+h, 2.0, 0, 0, techno.TempNominal)
+	dn := m.Eval(1.3-h, 2.0, 0, 0, techno.TempNominal)
+	gmFD := (up.ID - dn.ID) / (2 * h)
+	if rel := math.Abs(op.Gm-gmFD) / gmFD; rel > 1e-3 {
+		t.Fatalf("Gm = %g, FD = %g (rel %g)", op.Gm, gmFD, rel)
+	}
+}
+
+func TestGdsPositiveAndEarlyVoltage(t *testing.T) {
+	m := nmos(20*um, 2*um)
+	op := m.Eval(1.3, 2.0, 0, 0, techno.TempNominal)
+	if op.Gds <= 0 {
+		t.Fatal("Gds must be positive in saturation")
+	}
+	// VA = VAL·Leff; check gds ≈ ID/(VA+VDS) within a factor of 2.
+	va := m.Card.VAL * m.Leff()
+	approx := op.ID / va
+	if op.Gds > 2*approx || op.Gds < approx/3 {
+		t.Fatalf("Gds = %g, expected near ID/VA = %g", op.Gds, approx)
+	}
+	// Longer device → smaller λ → higher intrinsic gain.
+	mShort := nmos(20*um, 0.6*um)
+	opS := mShort.Eval(1.3, 2.0, 0, 0, techno.TempNominal)
+	if op.Gm/op.Gds <= opS.Gm/opS.Gds {
+		t.Fatal("intrinsic gain should grow with L")
+	}
+}
+
+func TestBodyEffectRaisesVTH(t *testing.T) {
+	m := nmos(10*um, 1*um)
+	op0 := m.Eval(1.2, 2.0, 0, 0, techno.TempNominal)
+	op1 := m.Eval(2.2, 3.0, 1.0, 0, techno.TempNominal) // same VGS=1.2, VSB=1
+	if op1.VTH <= op0.VTH {
+		t.Fatalf("VSB=1 V should raise VTH: %g vs %g", op1.VTH, op0.VTH)
+	}
+	if op1.ID >= op0.ID {
+		t.Fatalf("body effect should reduce current: %g vs %g", op1.ID, op0.ID)
+	}
+	if op1.Gmb <= 0 {
+		t.Fatal("Gmb must be positive with body effect")
+	}
+}
+
+func TestWeakInversionExponential(t *testing.T) {
+	// In weak inversion, current should grow ~exp(VGS/nVt): a 60·n mV
+	// increase multiplies current by ~10.
+	m := nmos(10*um, 1*um)
+	vt := techno.ThermalVoltage(techno.TempNominal)
+	n := 1 + m.Card.Gamma/(2*math.Sqrt(m.Card.Phi))
+	v1 := m.Card.VT0 - 0.25
+	dec := math.Ln10 * n * vt
+	a := m.Eval(v1, 1.0, 0, 0, techno.TempNominal)
+	b := m.Eval(v1+dec, 1.0, 0, 0, techno.TempNominal)
+	ratio := b.ID / a.ID
+	if ratio < 6 || ratio > 14 {
+		t.Fatalf("weak-inversion decade ratio = %g, want ≈10", ratio)
+	}
+}
+
+func TestContinuityAcrossRegions(t *testing.T) {
+	// Sweep VGS finely; current and its first difference must be smooth
+	// (no jumps from region boundaries).
+	m := nmos(10*um, 1*um)
+	prev := math.NaN()
+	prevD := math.NaN()
+	const step = 1e-3
+	for vgs := 0.0; vgs <= 2.5; vgs += step {
+		op := m.Eval(vgs, 2.0, 0, 0, techno.TempNominal)
+		if !math.IsNaN(prev) {
+			d := op.ID - prev
+			if d < -1e-15 {
+				t.Fatalf("current decreased with VGS at %g V", vgs)
+			}
+			if !math.IsNaN(prevD) && prevD > 1e-9 {
+				if d > 3*prevD+1e-9 {
+					t.Fatalf("current kink at VGS = %g V: Δ %g → %g", vgs, prevD, d)
+				}
+			}
+			prevD = d
+		}
+		prev = op.ID
+	}
+}
+
+func TestIDSatMonotonicInVeff(t *testing.T) {
+	m := nmos(10*um, 1*um)
+	prev := 0.0
+	for _, veff := range []float64{0.05, 0.1, 0.2, 0.3, 0.5} {
+		id := m.IDSat(veff, 0, techno.TempNominal)
+		if id <= prev {
+			t.Fatalf("IDSat must grow with Veff (%g: %g ≤ %g)", veff, id, prev)
+		}
+		prev = id
+	}
+}
+
+func TestSizeForCurrentRoundTrip(t *testing.T) {
+	tech := techno.Default060()
+	for _, target := range []float64{10e-6, 50e-6, 200e-6} {
+		w, err := SizeForCurrent(&tech.N, 1*um, 0.2, 0, target, techno.TempNominal, 0.8*um, 5000*um)
+		if err != nil {
+			t.Fatalf("target %g: %v", target, err)
+		}
+		m := &MOS{Card: &tech.N, W: w, L: 1 * um}
+		got := m.IDSat(0.2, 0, techno.TempNominal)
+		if rel := math.Abs(got-target) / target; rel > 1e-6 {
+			t.Fatalf("target %g: sized W=%g gives %g (rel err %g)", target, w, got, rel)
+		}
+	}
+}
+
+func TestSizeForCurrentUnreachable(t *testing.T) {
+	tech := techno.Default060()
+	_, err := SizeForCurrent(&tech.N, 1*um, 0.2, 0, 1.0, techno.TempNominal, 0.8*um, 100*um)
+	if err == nil {
+		t.Fatal("1 A from a 100 µm device should be unreachable")
+	}
+}
+
+func TestVGSForCurrentRoundTrip(t *testing.T) {
+	m := nmos(50*um, 1*um)
+	target := 100e-6
+	vgs, err := m.VGSForCurrent(target, 2.0, 0, techno.TempNominal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := m.Eval(vgs, 2.0, 0, 0, techno.TempNominal)
+	if rel := math.Abs(op.ID-target) / target; rel > 1e-3 {
+		t.Fatalf("VGS=%g gives ID=%g, want %g", vgs, op.ID, target)
+	}
+}
+
+func TestEvalPropertyGmNonNegative(t *testing.T) {
+	// Property: for random biases within the supply, Gm, Gds, Gmb ≥ 0 and
+	// ID is finite.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := nmos((1+r.Float64()*100)*um, (0.6+r.Float64()*4)*um)
+		vg := r.Float64() * 3.3
+		vd := r.Float64() * 3.3
+		vs := r.Float64() * 1.5
+		op := m.Eval(vg, vd, vs, 0, techno.TempNominal)
+		if math.IsNaN(op.ID) || math.IsInf(op.ID, 0) {
+			return false
+		}
+		return op.Gm >= 0 && op.Gds >= 0 && op.Gmb >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiplierScalesCurrent(t *testing.T) {
+	m1 := nmos(10*um, 1*um)
+	m4 := nmos(10*um, 1*um)
+	m4.Mult = 4
+	a := m1.Eval(1.3, 2, 0, 0, techno.TempNominal)
+	b := m4.Eval(1.3, 2, 0, 0, techno.TempNominal)
+	if math.Abs(b.ID/a.ID-4) > 1e-9 {
+		t.Fatalf("M=4 should quadruple current: %g", b.ID/a.ID)
+	}
+}
+
+func TestMobilityDegradationBendsIV(t *testing.T) {
+	// With Theta > 0, ID at high Veff must fall short of pure square law
+	// extrapolated from low Veff.
+	m := nmos(10*um, 1*um)
+	idLo := m.IDSat(0.1, 0, techno.TempNominal)
+	idHi := m.IDSat(0.8, 0, techno.TempNominal)
+	squareLaw := idLo * (0.8 / 0.1) * (0.8 / 0.1)
+	if idHi >= squareLaw {
+		t.Fatalf("mobility degradation missing: %g ≥ %g", idHi, squareLaw)
+	}
+}

@@ -1,0 +1,34 @@
+package device
+
+import (
+	"math"
+
+	"loas/internal/techno"
+)
+
+// NoisePSD returns the one-sided drain-current noise power spectral
+// densities (A²/Hz) of the transistor at operating point op and frequency
+// f: the white thermal channel noise and the 1/f flicker component.
+//
+// Thermal: S = 4kT·γ·(gm + gmb) in saturation; the gds term is added so
+// the expression degrades gracefully towards 4kT·gds in deep triode.
+// Flicker: S = KF·|ID|^AF / (Cox·Leff²·f), the SPICE level-1 form.
+func (m *MOS) NoisePSD(op OP, f, temp float64) (thermal, flicker float64) {
+	c := m.Card
+	kT4 := 4 * techno.KBoltzmann * temp
+	thermal = kT4 * (c.NoiseGamma*(op.Gm+op.Gmb) + op.Gds)
+	if f > 0 {
+		leff := m.Leff()
+		flicker = c.KF * math.Pow(math.Abs(op.ID), c.AF) / (c.Cox * leff * leff * f)
+	}
+	return thermal, flicker
+}
+
+// ResistorNoisePSD returns the thermal current-noise PSD (A²/Hz) of a
+// resistor r (Ω) at temperature temp: 4kT/R.
+func ResistorNoisePSD(r, temp float64) float64 {
+	if r <= 0 {
+		return 0
+	}
+	return 4 * techno.KBoltzmann * temp / r
+}

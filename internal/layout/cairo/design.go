@@ -1,0 +1,205 @@
+package cairo
+
+import (
+	"fmt"
+	"sort"
+
+	"loas/internal/layout/extract"
+	"loas/internal/layout/geom"
+	"loas/internal/layout/route"
+	"loas/internal/layout/slicing"
+	"loas/internal/techno"
+)
+
+// Tree describes the slicing structure over module names — the
+// "language constructs [that] allow to build up the appropriate slicing
+// structure for the circuit".
+type Tree struct {
+	// Vertical: children placed side by side (widths add).
+	Vertical bool
+	// GapNM separates children; it is the routing channel width.
+	GapNM int64
+	// Leaves lists module names placed directly at this level.
+	Leaves []string
+	// Children are nested cuts (composed after Leaves, in order).
+	Children []*Tree
+}
+
+// Design is a complete layout description: modules, slicing structure and
+// the nets to route.
+type Design struct {
+	Name    string
+	Modules []Module
+	Tree    *Tree
+	// Nets lists top-level nets to route with their DC currents.
+	Nets []route.Net
+}
+
+// Constraint re-exports the slicing constraint for callers.
+type Constraint = slicing.Constraint
+
+// Plan is the result of either mode: the parasitic report plus the
+// geometry that produced it.
+type Plan struct {
+	Parasitics *extract.Parasitics
+	Cell       *geom.Cell
+	Floorplan  *slicing.Floorplan
+	// ChoiceOf records the selected shape alternative per module.
+	ChoiceOf map[string]int
+}
+
+// buildCache builds every alternative of every module once.
+type buildCache struct {
+	byModule map[string]map[int]*Built
+}
+
+func (d *Design) module(name string) Module {
+	for _, m := range d.Modules {
+		if m.Name() == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// slicingNode converts the tree spec into slicing nodes backed by real
+// module builds, so the shape function reflects exact geometry.
+func (d *Design) slicingNode(tech *techno.Tech, t *Tree, cache *buildCache) (slicing.Node, error) {
+	var children []slicing.Node
+	for _, name := range t.Leaves {
+		m := d.module(name)
+		if m == nil {
+			return nil, fmt.Errorf("cairo: tree references unknown module %q", name)
+		}
+		var alts []slicing.Option
+		built := map[int]*Built{}
+		for _, choice := range m.Choices() {
+			b, err := m.Build(tech, choice)
+			if err != nil {
+				return nil, fmt.Errorf("cairo: module %s choice %d: %w", name, choice, err)
+			}
+			bb := b.Cell.BBox()
+			alts = append(alts, slicing.Option{W: bb.W(), H: bb.H(), Choice: choice})
+			built[choice] = b
+		}
+		cache.byModule[name] = built
+		children = append(children, slicing.NewLeaf(name, alts))
+	}
+	for _, sub := range t.Children {
+		n, err := d.slicingNode(tech, sub, cache)
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, n)
+	}
+	if len(children) == 0 {
+		return nil, fmt.Errorf("cairo: empty tree node in design %s", d.Name)
+	}
+	if len(children) == 1 {
+		return children[0], nil
+	}
+	return slicing.NewCut(t.Vertical, t.GapNM, children...), nil
+}
+
+// channelNeedNM sizes the routing channels from the net count: one
+// metal-2 track per net plus slack, so trunk stacking never overflows
+// into a module row.
+func (d *Design) channelNeedNM(tech *techno.Tech) int64 {
+	pitch := tech.Rules.Metal2Width + tech.Rules.Metal2Space
+	return int64(len(d.Nets)+2)*pitch + 2*tech.Rules.Metal2Space
+}
+
+// widenGaps returns a copy of the tree with horizontal-cut gaps widened
+// to the routing-channel requirement.
+func widenGaps(t *Tree, need int64) *Tree {
+	c := *t
+	if !c.Vertical && c.GapNM < need {
+		c.GapNM = need
+	}
+	c.Children = make([]*Tree, len(t.Children))
+	for i, ch := range t.Children {
+		c.Children[i] = widenGaps(ch, need)
+	}
+	return &c
+}
+
+// Plan runs the flow: area optimization under the shape constraint,
+// module realization, routing, extraction.
+func (d *Design) Plan(tech *techno.Tech, c Constraint) (*Plan, error) {
+	cache := &buildCache{byModule: map[string]map[int]*Built{}}
+	need := d.channelNeedNM(tech)
+	root, err := d.slicingNode(tech, widenGaps(d.Tree, need), cache)
+	if err != nil {
+		return nil, err
+	}
+	fp, err := slicing.Optimize(root, c)
+	if err != nil {
+		return nil, fmt.Errorf("cairo: design %s: %w", d.Name, err)
+	}
+
+	top := geom.NewCell(d.Name)
+	par := extract.New()
+	choices := map[string]int{}
+
+	// Deterministic module order.
+	var names []string
+	for name := range fp.Placed {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pl := fp.Placed[name]
+		b := cache.byModule[name][pl.Choice]
+		if b == nil {
+			return nil, fmt.Errorf("cairo: missing build for %s choice %d", name, pl.Choice)
+		}
+		choices[name] = pl.Choice
+		bb := b.Cell.BBox()
+		top.Merge(b.Cell, pl.Rect.L-bb.L, pl.Rect.B-bb.B)
+		for inst, g := range b.Geoms {
+			par.DeviceGeom[inst] = g
+		}
+		for inst, f := range b.Folds {
+			par.Folds[inst] = f
+		}
+		for net, cap := range b.RailCap {
+			par.NetCap[net] += cap
+		}
+		if b.WellNet != "" && b.WellArea > 0 {
+			par.WellCap[b.WellNet] += b.WellArea*tech.Wire.CWellArea + b.WellPerim*tech.Wire.CWellPerim
+		}
+	}
+
+	// Routing channels: the module-free horizontal bands of the
+	// floorplan, plus margins above and below.
+	var obstacles []geom.Rect
+	for _, name := range names {
+		obstacles = append(obstacles, fp.Placed[name].Rect)
+	}
+	channels := route.Channels(obstacles, need)
+	rres, err := route.Route(tech, top, d.Nets, channels)
+	if err != nil {
+		return nil, fmt.Errorf("cairo: design %s: %w", d.Name, err)
+	}
+	for net, cap := range rres.NetCap {
+		par.NetCap[net] += cap
+	}
+	for pair, cap := range rres.Coupling {
+		par.Coupling[pair] += cap
+	}
+
+	bb := top.BBox()
+	par.WidthUM = float64(bb.W()) * 1e-3
+	par.HeightUM = float64(bb.H()) * 1e-3
+	par.AreaUM2 = bb.AreaUM2()
+	par.LayoutCalls = 1
+
+	return &Plan{Parasitics: par, Cell: top, Floorplan: fp, ChoiceOf: choices}, nil
+}
+
+// Generate runs the same flow as Plan; the distinction is semantic
+// (physical output requested). The returned Plan's Cell is the full
+// layout ready for SVG export.
+func (d *Design) Generate(tech *techno.Tech, c Constraint) (*Plan, error) {
+	return d.Plan(tech, c)
+}

@@ -1,0 +1,198 @@
+// Package cairo is the procedural layout driver — the role of the CAIRO
+// layout language in the paper. Circuit generators describe a layout as
+// modules (folded transistors, matched stacks) arranged in a slicing
+// tree; the driver runs in two modes:
+//
+//   - Plan (parasitic-calculation mode): area optimization under the shape
+//     constraint decides every fold count and wire position, and the
+//     parasitic report is computed — "no layout is physically generated"
+//     in the paper's phrasing, though here the geometry is cheap enough to
+//     build either way, which guarantees plan and generation can never
+//     disagree.
+//   - Generate: the same flow, returning the full cell plus an SVG view.
+package cairo
+
+import (
+	"fmt"
+
+	"loas/internal/device"
+	"loas/internal/layout/geom"
+	"loas/internal/layout/motif"
+	"loas/internal/layout/stack"
+	"loas/internal/techno"
+)
+
+// Built is a module realized for one shape choice.
+type Built struct {
+	Cell *geom.Cell
+	// Geoms / Folds are keyed by circuit transistor instance name.
+	Geoms map[string]device.DiffGeom
+	Folds map[string]device.FoldPlan
+	// RailCap is module-internal wiring capacitance per net (F).
+	RailCap map[string]float64
+	// WellNet receives the floating-well capacitance (empty = none or
+	// tied to supply).
+	WellNet             string
+	WellArea, WellPerim float64
+}
+
+// Module is a placeable layout block with enumerable shape alternatives.
+type Module interface {
+	Name() string
+	// Choices lists the shape alternative identifiers.
+	Choices() []int
+	// Build realizes one alternative.
+	Build(tech *techno.Tech, choice int) (*Built, error)
+}
+
+// Transistor wraps a single folded transistor; choices are fold counts.
+type Transistor struct {
+	Inst string // circuit instance name (keys the parasitic report)
+	Type techno.MOSType
+	W, L float64
+	// Style picks the interior net; the paper makes frequency-critical
+	// drains internal, which also prefers even fold counts.
+	Style                                  device.DiffNet
+	DrainNet, GateNet, SourceNet, BulkNet string
+	IDrain                                 float64
+	// MaxFolds bounds the alternatives (default 8).
+	MaxFolds int
+	// EvenOnly restricts to even fold counts (plus 1) so the critical
+	// net stays fully internal.
+	EvenOnly bool
+	// WellNet, when set on a PMOS device, reports the floating-well
+	// capacitance onto that net (e.g. a source-tied well).
+	WellNet string
+}
+
+// Name implements Module.
+func (t *Transistor) Name() string { return t.Inst }
+
+// Choices implements Module.
+func (t *Transistor) Choices() []int {
+	maxf := t.MaxFolds
+	if maxf < 1 {
+		maxf = 8
+	}
+	var out []int
+	for nf := 1; nf <= maxf; nf++ {
+		if t.EvenOnly && nf > 1 && nf%2 == 1 {
+			continue
+		}
+		out = append(out, nf)
+	}
+	return out
+}
+
+// Build implements Module.
+func (t *Transistor) Build(tech *techno.Tech, choice int) (*Built, error) {
+	m, err := motif.Build(tech, motif.Spec{
+		Name:      t.Inst,
+		Type:      t.Type,
+		W:         t.W,
+		L:         t.L,
+		Folds:     choice,
+		Style:     t.Style,
+		DrainNet:  t.DrainNet,
+		GateNet:   t.GateNet,
+		SourceNet: t.SourceNet,
+		BulkNet:   t.BulkNet,
+		IDrain:    t.IDrain,
+	})
+	if err != nil {
+		return nil, err
+	}
+	b := &Built{
+		Cell:    m.Cell,
+		Geoms:   map[string]device.DiffGeom{t.Inst: m.Geom},
+		Folds:   map[string]device.FoldPlan{t.Inst: m.Plan},
+		RailCap: m.RailCap,
+		WellNet: t.WellNet,
+	}
+	b.WellArea, b.WellPerim = m.WellAreaM2()
+	return b, nil
+}
+
+// MatchedStack wraps a matched multi-device stack (mirror, pair); choices
+// multiply the unit count per device, trading height for width.
+type MatchedStack struct {
+	Label string
+	Type  techno.MOSType
+	// Devices holds per-device ratios and nets; Units is the *base* unit
+	// count, scaled by the split choice.
+	Devices   []stack.Device
+	SourceNet string
+	BulkNet   string
+	// WidthPerBaseUnit is the gate width (m) of one base unit: device i
+	// has total width Units_i · WidthPerBaseUnit.
+	WidthPerBaseUnit float64
+	L                float64
+	Currents         map[string]float64
+	EndDummies       bool
+	// Splits lists unit multipliers to offer as shape alternatives
+	// (default {1, 2}).
+	Splits []int
+	// WellNet as in Transistor.
+	WellNet string
+}
+
+// Name implements Module.
+func (s *MatchedStack) Name() string { return s.Label }
+
+// Choices implements Module.
+func (s *MatchedStack) Choices() []int {
+	if len(s.Splits) == 0 {
+		return []int{1, 2}
+	}
+	return append([]int(nil), s.Splits...)
+}
+
+// Build implements Module.
+func (s *MatchedStack) Build(tech *techno.Tech, choice int) (*Built, error) {
+	if choice < 1 {
+		return nil, fmt.Errorf("cairo: stack %s: split %d", s.Label, choice)
+	}
+	devs := make([]stack.Device, len(s.Devices))
+	for i, d := range s.Devices {
+		d.Units *= choice
+		devs[i] = d
+	}
+	pat, err := stack.Generate(stack.PatternSpec{
+		Devices:    devs,
+		SourceNet:  s.SourceNet,
+		EndDummies: s.EndDummies,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cairo: stack %s: %w", s.Label, err)
+	}
+	st, err := stack.Build(tech, pat, stack.BuildSpec{
+		Name:     s.Label,
+		Type:     s.Type,
+		UnitW:    s.WidthPerBaseUnit / float64(choice),
+		L:        s.L,
+		BulkNet:  s.BulkNet,
+		Currents: s.Currents,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cairo: stack %s: %w", s.Label, err)
+	}
+	b := &Built{
+		Cell:    st.Cell,
+		Geoms:   map[string]device.DiffGeom{},
+		Folds:   map[string]device.FoldPlan{},
+		RailCap: st.RailCap,
+		WellNet: s.WellNet,
+	}
+	for name, g := range st.Geoms {
+		b.Geoms[name] = g
+	}
+	for _, d := range devs {
+		b.Folds[d.Name] = device.FoldPlan{
+			Folds:   d.Units,
+			FingerW: st.UnitW, // realized, grid-snapped
+			Style:   device.DrainInternal,
+		}
+	}
+	b.WellArea, b.WellPerim = st.WellAreaM2()
+	return b, nil
+}

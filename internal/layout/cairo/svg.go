@@ -1,0 +1,67 @@
+package cairo
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"loas/internal/layout/geom"
+	"loas/internal/techno"
+)
+
+// layerStyle maps mask layers to SVG fill colours (classic CAD palette).
+var layerStyle = map[techno.Layer]struct {
+	color   string
+	opacity float64
+	zOrder  int
+}{
+	techno.LayerNWell:    {"#d9d2e9", 0.8, 0},
+	techno.LayerPImplant: {"#fce5cd", 0.4, 1},
+	techno.LayerNImplant: {"#d9ead3", 0.4, 1},
+	techno.LayerActive:   {"#38761d", 0.8, 2},
+	techno.LayerPoly:     {"#cc0000", 0.8, 3},
+	techno.LayerContact:  {"#000000", 1.0, 5},
+	techno.LayerMetal1:   {"#3c78d8", 0.6, 4},
+	techno.LayerVia1:     {"#ffffff", 1.0, 7},
+	techno.LayerMetal2:   {"#9900ff", 0.5, 6},
+	techno.LayerPoly2:    {"#e69138", 0.8, 4},
+}
+
+// WriteSVG renders a cell as SVG (1 nm = 1 user unit, y flipped so the
+// layout reads bottom-up like a plot).
+func WriteSVG(w io.Writer, cell *geom.Cell) error {
+	bb := cell.BBox()
+	if !bb.Valid() {
+		return fmt.Errorf("cairo: cell %s has no geometry", cell.Name)
+	}
+	margin := int64(2000)
+	vb := bb.Expand(margin)
+	if _, err := fmt.Fprintf(w,
+		"<svg xmlns=\"http://www.w3.org/2000/svg\" viewBox=\"%d %d %d %d\" width=\"%dpx\">\n",
+		vb.L, -vb.T, vb.W(), vb.H(), 900); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "<title>%s</title>\n", cell.Name)
+	fmt.Fprintf(w, "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"#fdfdf8\"/>\n",
+		vb.L, -vb.T, vb.W(), vb.H())
+
+	shapes := append([]geom.Shape(nil), cell.Shapes...)
+	sort.SliceStable(shapes, func(i, j int) bool {
+		return layerStyle[shapes[i].Layer].zOrder < layerStyle[shapes[j].Layer].zOrder
+	})
+	for _, s := range shapes {
+		st, ok := layerStyle[s.Layer]
+		if !ok {
+			continue
+		}
+		title := ""
+		if s.Net != "" {
+			title = fmt.Sprintf("<title>%s %s</title>", s.Layer, s.Net)
+		}
+		fmt.Fprintf(w,
+			"<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"%s\" fill-opacity=\"%.2f\">%s</rect>\n",
+			s.R.L, -s.R.T, s.R.W(), s.R.H(), st.color, st.opacity, title)
+	}
+	_, err := fmt.Fprintln(w, "</svg>")
+	return err
+}

@@ -1,0 +1,226 @@
+// Package drc checks generated layouts against the design rules the
+// procedural generators are supposed to respect: minimum widths, minimum
+// same-layer spacings between different nets, contact/via enclosures,
+// grid alignment, and the electromigration current-density rule on
+// routed nets. It is a safety net over the generators (the paper's
+// "reliability design rules"), not a sign-off DRC.
+package drc
+
+import (
+	"fmt"
+
+	"loas/internal/layout/geom"
+	"loas/internal/techno"
+)
+
+// Violation is one broken rule.
+type Violation struct {
+	Rule  string
+	Layer techno.Layer
+	Where geom.Rect
+	Note  string
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s on %s at %v: %s", v.Rule, v.Layer, v.Where, v.Note)
+}
+
+// Check runs all geometry rules on a cell and returns every violation.
+func Check(tech *techno.Tech, cell *geom.Cell) []Violation {
+	var out []Violation
+	out = append(out, checkGrid(tech, cell)...)
+	out = append(out, checkWidths(tech, cell)...)
+	out = append(out, checkSpacings(tech, cell)...)
+	out = append(out, checkContactEnclosure(tech, cell)...)
+	return out
+}
+
+func checkGrid(tech *techno.Tech, cell *geom.Cell) []Violation {
+	g := tech.Rules.Grid
+	if g <= 1 {
+		return nil
+	}
+	var out []Violation
+	for _, s := range cell.Shapes {
+		for _, v := range [4]int64{s.R.L, s.R.B, s.R.R, s.R.T} {
+			if v%g != 0 {
+				out = append(out, Violation{
+					Rule: "grid", Layer: s.Layer, Where: s.R,
+					Note: fmt.Sprintf("coordinate %d off the %d nm grid", v, g),
+				})
+				break
+			}
+		}
+	}
+	return out
+}
+
+// minWidth returns the minimum drawn width for a layer (0 = unchecked).
+func minWidth(r *techno.Rules, l techno.Layer) int64 {
+	switch l {
+	case techno.LayerPoly, techno.LayerPoly2:
+		return r.PolyWidth
+	case techno.LayerActive:
+		return r.ActiveWidth
+	case techno.LayerMetal1:
+		return r.Metal1Width
+	case techno.LayerMetal2:
+		return r.Metal2Width
+	case techno.LayerContact:
+		return r.ContactSize
+	case techno.LayerVia1:
+		return r.Via1Size
+	}
+	return 0
+}
+
+// minSpace returns the minimum same-layer spacing (0 = unchecked).
+func minSpace(r *techno.Rules, l techno.Layer) int64 {
+	switch l {
+	case techno.LayerPoly, techno.LayerPoly2:
+		return r.PolySpace
+	case techno.LayerActive:
+		return r.ActiveSpace
+	case techno.LayerMetal1:
+		return r.Metal1Space
+	case techno.LayerMetal2:
+		return r.Metal2Space
+	case techno.LayerContact:
+		return r.ContactSpace
+	case techno.LayerVia1:
+		return r.Via1Space
+	case techno.LayerNWell:
+		return r.NWellSpace
+	}
+	return 0
+}
+
+func checkWidths(tech *techno.Tech, cell *geom.Cell) []Violation {
+	var out []Violation
+	for _, s := range cell.Shapes {
+		w := minWidth(&tech.Rules, s.Layer)
+		if w == 0 {
+			continue
+		}
+		short := s.R.W()
+		if s.R.H() < short {
+			short = s.R.H()
+		}
+		if short < w {
+			out = append(out, Violation{
+				Rule: "min-width", Layer: s.Layer, Where: s.R,
+				Note: fmt.Sprintf("%d nm < %d nm", short, w),
+			})
+		}
+	}
+	return out
+}
+
+func checkSpacings(tech *techno.Tech, cell *geom.Cell) []Violation {
+	var out []Violation
+	byLayer := map[techno.Layer][]geom.Shape{}
+	for _, s := range cell.Shapes {
+		byLayer[s.Layer] = append(byLayer[s.Layer], s)
+	}
+	for layer, shapes := range byLayer {
+		space := minSpace(&tech.Rules, layer)
+		if space == 0 {
+			continue
+		}
+		for i := 0; i < len(shapes); i++ {
+			for j := i + 1; j < len(shapes); j++ {
+				a, b := shapes[i], shapes[j]
+				if a.Net == b.Net && a.Net != "" {
+					continue
+				}
+				if a.R.Intersects(b.R) {
+					continue // same-layer overlap on different nets is a
+					// connectivity error caught elsewhere; spacing
+					// rules target disjoint shapes
+				}
+				if a.R.Expand(space).Intersects(b.R) {
+					out = append(out, Violation{
+						Rule: "min-space", Layer: layer, Where: a.R,
+						Note: fmt.Sprintf("%v (%s) to %v (%s) below %d nm",
+							a.R, a.Net, b.R, b.Net, space),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkContactEnclosure verifies every contact is covered by conducting
+// layers on both ends: (active or poly or poly2) below, metal1 above.
+func checkContactEnclosure(tech *techno.Tech, cell *geom.Cell) []Violation {
+	var out []Violation
+	var lower, upper []geom.Rect
+	for _, s := range cell.Shapes {
+		switch s.Layer {
+		case techno.LayerActive, techno.LayerPoly, techno.LayerPoly2:
+			lower = append(lower, s.R)
+		case techno.LayerMetal1:
+			upper = append(upper, s.R)
+		}
+	}
+	covered := func(c geom.Rect, rects []geom.Rect) bool {
+		for _, r := range rects {
+			if c.Intersect(r) == c {
+				return true
+			}
+		}
+		return false
+	}
+	for _, s := range cell.Shapes {
+		if s.Layer != techno.LayerContact {
+			continue
+		}
+		if !covered(s.R, lower) {
+			out = append(out, Violation{
+				Rule: "contact-bottom", Layer: s.Layer, Where: s.R,
+				Note: "no active/poly underneath",
+			})
+		}
+		if !covered(s.R, upper) {
+			out = append(out, Violation{
+				Rule: "contact-top", Layer: s.Layer, Where: s.R,
+				Note: "no metal1 above",
+			})
+		}
+	}
+	return out
+}
+
+// CheckCurrentDensity verifies the electromigration rule on routed nets:
+// every wire shape on a net must be at least as wide as the net's current
+// demands, divided by how many parallel strips the net uses at that
+// coordinate. This conservative single-shape check flags any wire
+// narrower than required for the *per-shape share* given by the caller.
+func CheckCurrentDensity(tech *techno.Tech, cell *geom.Cell, net string, shapeCurrent float64) []Violation {
+	if shapeCurrent <= 0 {
+		return nil
+	}
+	need := int64(shapeCurrent / tech.Wire.JMax * 1e9)
+	var out []Violation
+	for _, s := range cell.Shapes {
+		if s.Net != net {
+			continue
+		}
+		if s.Layer != techno.LayerMetal1 && s.Layer != techno.LayerMetal2 {
+			continue
+		}
+		w := s.R.W()
+		if s.R.H() < w {
+			w = s.R.H()
+		}
+		if w < need {
+			out = append(out, Violation{
+				Rule: "current-density", Layer: s.Layer, Where: s.R,
+				Note: fmt.Sprintf("%d nm wide, %g A needs %d nm", w, shapeCurrent, need),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,422 @@
+// Package route connects module ports across a placed floorplan with a
+// channel-routing discipline that is correct by construction on a
+// two-metal process:
+//
+//   - horizontal trunks run on metal-2 tracks inside the routing channels
+//     (the module-free horizontal bands of the floorplan);
+//   - vertical branches and the inter-channel spine run on metal-1, so a
+//     vertical wire can cross any number of foreign trunks and module
+//     metal-2 rails without shorting;
+//   - a via connects a vertical wire to a trunk only where the net
+//     matches.
+//
+// Branch x-positions are searched for metal-1 clearance against
+// everything already placed (including module-internal wiring), extending
+// the port rail sideways into the inter-module gap when the straight-down
+// position is blocked (e.g. by a foreign substrate-tap row).
+//
+// Wire widths follow the electromigration rule. The router reports wiring
+// capacitance per net and trunk-to-trunk coupling for the parasitic
+// extractor. CAIRO's routing is likewise procedural and deterministic —
+// that is what lets the paper's flow "fully determine the width and
+// position of all routing wires" before any layout is generated.
+package route
+
+import (
+	"fmt"
+	"sort"
+
+	"loas/internal/layout/geom"
+	"loas/internal/layout/motif"
+	"loas/internal/techno"
+)
+
+// Net describes one net to route.
+type Net struct {
+	Name string
+	// Current is the DC current (A) carried by the net, for wire sizing.
+	Current float64
+}
+
+// YRange is a horizontal routing channel (a module-free band).
+type YRange struct{ B, T int64 }
+
+// H returns the channel height.
+func (y YRange) H() int64 { return y.T - y.B }
+
+// Result reports the wiring added by the router.
+type Result struct {
+	// Wires are the added shapes (already merged into the cell as well).
+	Wires []geom.Shape
+	// NetCap is the wiring capacitance to substrate per net (F).
+	NetCap map[string]float64
+	// Coupling is the trunk/spine coupling capacitance between net pairs
+	// (F); keys are ordered pairs with A < B.
+	Coupling map[NetPair]float64
+	// Length is the total wire length per net (m), for reports.
+	Length map[string]float64
+}
+
+// NetPair is a canonically ordered pair of net names.
+type NetPair struct{ A, B string }
+
+// OrderedPair builds a canonical pair.
+func OrderedPair(a, b string) NetPair {
+	if a > b {
+		a, b = b, a
+	}
+	return NetPair{A: a, B: b}
+}
+
+// Channels computes the horizontal module-free bands of a cell from the
+// given obstacle rectangles (usually the placed module bounding boxes),
+// including one open channel below and one above everything.
+func Channels(obstacles []geom.Rect, slack int64) []YRange {
+	if len(obstacles) == 0 {
+		return []YRange{{B: 0, T: slack}}
+	}
+	type edge struct {
+		y     int64
+		delta int
+	}
+	var edges []edge
+	lo, hi := obstacles[0].B, obstacles[0].T
+	for _, r := range obstacles {
+		edges = append(edges, edge{r.B, +1}, edge{r.T, -1})
+		if r.B < lo {
+			lo = r.B
+		}
+		if r.T > hi {
+			hi = r.T
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].y != edges[j].y {
+			return edges[i].y < edges[j].y
+		}
+		return edges[i].delta > edges[j].delta
+	})
+	var out []YRange
+	out = append(out, YRange{B: lo - slack, T: lo})
+	depth := 0
+	var openAt int64
+	for _, e := range edges {
+		depth += e.delta
+		switch {
+		case depth == 0 && e.delta == -1:
+			openAt = e.y
+		case depth == 1 && e.delta == +1 && e.y > openAt && openAt > lo:
+			if e.y-openAt > 0 {
+				out = append(out, YRange{B: openAt, T: e.y})
+			}
+		}
+	}
+	out = append(out, YRange{B: hi, T: hi + slack})
+	return out
+}
+
+// router holds the in-progress state.
+type router struct {
+	tech *techno.Tech
+	cell *geom.Cell
+	res  *Result
+	// m1 holds every metal-1 rectangle placed so far (module wiring plus
+	// routed wires) for clearance checks.
+	m1 []geom.Shape
+	// trunks holds placed metal-2 trunks for track assignment/coupling.
+	trunks []geom.Shape
+	// spines holds the left-margin vertical metal-1 spines for coupling.
+	spines []geom.Shape
+	// trackFill tracks the next free track per channel index.
+	trackFill []int
+	channels  []YRange
+	bbox      geom.Rect
+}
+
+// Route wires the given nets over the cell. channels must cover the
+// floorplan's module-free bands (see Channels); every port is connected
+// through its nearest channel, and nets spanning several channels get a
+// metal-1 spine along the left margin.
+func Route(tech *techno.Tech, cell *geom.Cell, nets []Net, channels []YRange) (*Result, error) {
+	if len(channels) == 0 {
+		return nil, fmt.Errorf("route: no routing channels")
+	}
+	r := &router{
+		tech: tech,
+		cell: cell,
+		res: &Result{
+			NetCap:   map[string]float64{},
+			Coupling: map[NetPair]float64{},
+			Length:   map[string]float64{},
+		},
+		channels:  append([]YRange(nil), channels...),
+		trackFill: make([]int, len(channels)),
+		bbox:      cell.BBox(),
+	}
+	sort.Slice(r.channels, func(i, j int) bool { return r.channels[i].B < r.channels[j].B })
+	for _, s := range cell.Shapes {
+		if s.Layer == techno.LayerMetal1 {
+			r.m1 = append(r.m1, s)
+		}
+	}
+
+	ordered := append([]Net(nil), nets...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Name < ordered[j].Name })
+
+	spineIdx := 0
+	for _, n := range ordered {
+		ports := cell.PortsOnNet(n.Name)
+		if len(ports) < 2 {
+			continue
+		}
+		if err := r.routeNet(n, ports, &spineIdx); err != nil {
+			return nil, err
+		}
+	}
+
+	// Coupling between parallel metal-2 trunks and between the metal-1
+	// spines running side by side on the margin.
+	for i := 0; i < len(r.trunks); i++ {
+		for j := i + 1; j < len(r.trunks); j++ {
+			a, b := r.trunks[i], r.trunks[j]
+			if a.Net == b.Net {
+				continue
+			}
+			c := geom.CouplingCapM(a.R, b.R, tech.Wire.CCoupleM2, tech.Rules.Metal2Space)
+			if c > 0 {
+				r.res.Coupling[OrderedPair(a.Net, b.Net)] += c
+			}
+		}
+	}
+	for i := 0; i < len(r.spines); i++ {
+		for j := i + 1; j < len(r.spines); j++ {
+			a, b := r.spines[i], r.spines[j]
+			c := geom.CouplingCapM(a.R, b.R, tech.Wire.CCoupleM1, tech.Rules.Metal1Space)
+			if c > 0 {
+				r.res.Coupling[OrderedPair(a.Net, b.Net)] += c
+			}
+		}
+	}
+	return r.res, nil
+}
+
+// channelFor picks the channel a port should exit into: the nearest
+// channel edge in the direction away from the port's module interior.
+func (r *router) channelFor(p geom.Port) int {
+	cy := p.R.CenterY()
+	best, bestDist := 0, int64(1)<<62
+	for i, ch := range r.channels {
+		var d int64
+		switch {
+		case cy < ch.B:
+			d = ch.B - cy
+		case cy > ch.T:
+			d = cy - ch.T
+		default:
+			d = 0
+		}
+		if d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return best
+}
+
+// addM1 places a metal-1 wire, recording it for clearance checks.
+func (r *router) addM1(rect geom.Rect, net string) {
+	r.cell.Add(techno.LayerMetal1, rect, net)
+	s := geom.Shape{Layer: techno.LayerMetal1, R: rect, Net: net}
+	r.m1 = append(r.m1, s)
+	r.res.Wires = append(r.res.Wires, s)
+	r.res.NetCap[net] += geom.WireCapM(rect, r.tech.Wire.CAreaM1, r.tech.Wire.CFringeM1)
+	l := rect.W()
+	if rect.H() > l {
+		l = rect.H()
+	}
+	r.res.Length[net] += float64(l) * 1e-9
+}
+
+// addM2 places a metal-2 trunk.
+func (r *router) addM2(rect geom.Rect, net string) {
+	r.cell.Add(techno.LayerMetal2, rect, net)
+	s := geom.Shape{Layer: techno.LayerMetal2, R: rect, Net: net}
+	r.trunks = append(r.trunks, s)
+	r.res.Wires = append(r.res.Wires, s)
+	r.res.NetCap[net] += geom.WireCapM(rect, r.tech.Wire.CAreaM2, r.tech.Wire.CFringeM2)
+	r.res.Length[net] += float64(rect.W()) * 1e-9
+}
+
+// via drops a via1 cut centred in the overlap of a vertical m1 wire and a
+// trunk.
+func (r *router) via(x, y int64, net string) {
+	rl := &r.tech.Rules
+	r.cell.Add(techno.LayerVia1,
+		geom.XYWH(rl.SnapDownNM(x-rl.Via1Size/2), rl.SnapDownNM(y-rl.Via1Size/2),
+			rl.Via1Size, rl.Via1Size), net)
+}
+
+// m1Clear reports whether a candidate metal-1 rect keeps spacing from all
+// placed metal-1 of other nets.
+func (r *router) m1Clear(cand geom.Rect, net string) bool {
+	test := cand.Expand(r.tech.Rules.Metal1Space)
+	for _, s := range r.m1 {
+		if s.Net == net {
+			continue
+		}
+		if test.Intersects(s.R) {
+			return false
+		}
+	}
+	return true
+}
+
+// branch connects a port vertically to trunk level trunkY (the trunk's
+// vertical centre), searching for a clear x position and extending the
+// port rail sideways when needed. Returns the branch x used.
+func (r *router) branch(p geom.Port, w1, trunkB, trunkT int64, net string) (int64, error) {
+	rl := &r.tech.Rules
+	mkRects := func(x int64) (branch geom.Rect, ext geom.Rect, ok bool) {
+		b := geom.Rect{L: x - w1/2, R: x + w1/2}
+		if p.R.CenterY() <= trunkB {
+			b.B, b.T = p.R.B, trunkT
+		} else {
+			b.B, b.T = trunkB, p.R.T
+		}
+		if !b.Valid() {
+			return b, ext, false
+		}
+		// Rail extension when the branch leaves the port rect.
+		if b.L < p.R.L || b.R > p.R.R {
+			ext = geom.Rect{B: p.R.B, T: p.R.T}
+			if b.R > p.R.R {
+				ext.L, ext.R = p.R.R, b.R
+			} else {
+				ext.L, ext.R = b.L, p.R.L
+			}
+		}
+		return b, ext, true
+	}
+	// Candidate positions: port centre, then alternating outward.
+	span := p.R.W()/2 + 40000
+	for step := int64(0); step <= span; step += rl.Grid * 4 {
+		for _, sign := range []int64{1, -1} {
+			if step == 0 && sign < 0 {
+				continue
+			}
+			x := rl.SnapDownNM(p.R.CenterX() + sign*step)
+			branch, ext, ok := mkRects(x)
+			if !ok {
+				continue
+			}
+			if !r.m1Clear(branch, net) {
+				continue
+			}
+			if ext.Valid() && !r.m1Clear(ext, net) {
+				continue
+			}
+			r.addM1(branch, net)
+			if ext.Valid() {
+				r.addM1(ext, net)
+			}
+			return x, nil
+		}
+	}
+	return 0, fmt.Errorf("route: no clear branch position for net %s near %v", net, p.R)
+}
+
+// trunkTrack allocates the next metal-2 track in a channel and returns
+// its y-range. Overflowing the channel keeps stacking upward (the caller
+// sized the channels from the net count, so this is a safety valve, not
+// the norm).
+func (r *router) trunkTrack(ch int, w2 int64) (int64, int64) {
+	rl := &r.tech.Rules
+	pitch := w2 + rl.Metal2Space
+	y := r.channels[ch].B + rl.Metal2Space + int64(r.trackFill[ch])*pitch
+	r.trackFill[ch]++
+	return y, y + w2
+}
+
+func (r *router) routeNet(n Net, ports []geom.Port, spineIdx *int) error {
+	rl := &r.tech.Rules
+	w1 := motif.WireWidthNM(r.tech, n.Current)
+	w2 := rl.Metal2Width
+	if need := motif.WireWidthNM(r.tech, n.Current); need > w2 {
+		w2 = need
+	}
+
+	// Group ports by exit channel.
+	byChannel := map[int][]geom.Port{}
+	for _, p := range ports {
+		c := r.channelFor(p)
+		byChannel[c] = append(byChannel[c], p)
+	}
+	var chans []int
+	for c := range byChannel {
+		chans = append(chans, c)
+	}
+	sort.Ints(chans)
+
+	needSpine := len(chans) > 1
+	spineX := int64(0)
+	if needSpine {
+		pitch := w1 + rl.Metal1Space
+		spineX = r.bbox.L - 2*rl.Metal1Space - int64(*spineIdx)*pitch - w1/2
+		*spineIdx++
+	}
+
+	var spineLoY, spineHiY int64
+	first := true
+	for _, c := range chans {
+		group := byChannel[c]
+		trunkB, trunkT := r.trunkTrack(c, w2)
+		// Branches first (their x positions bound the trunk).
+		var xMin, xMax int64 = 1 << 62, -(1 << 62)
+		for _, p := range group {
+			x, err := r.branch(p, w1, trunkB, trunkT, n.Name)
+			if err != nil {
+				return err
+			}
+			r.via(x, (trunkB+trunkT)/2, n.Name)
+			if x < xMin {
+				xMin = x
+			}
+			if x > xMax {
+				xMax = x
+			}
+		}
+		if needSpine {
+			if spineX < xMin {
+				xMin = spineX
+			}
+			if spineX > xMax {
+				xMax = spineX
+			}
+			r.via(spineX, (trunkB+trunkT)/2, n.Name)
+			if first {
+				spineLoY, spineHiY = trunkB, trunkT
+				first = false
+			}
+			if trunkB < spineLoY {
+				spineLoY = trunkB
+			}
+			if trunkT > spineHiY {
+				spineHiY = trunkT
+			}
+		}
+		trunk := geom.Rect{L: xMin - w1, B: trunkB, R: xMax + w1, T: trunkT}
+		if trunk.W() < rl.Metal2Width {
+			trunk.R = trunk.L + rl.Metal2Width
+		}
+		r.addM2(trunk, n.Name)
+	}
+
+	if needSpine {
+		spine := geom.Rect{L: spineX - w1/2, B: spineLoY, R: spineX + w1/2, T: spineHiY}
+		if !r.m1Clear(spine, n.Name) {
+			return fmt.Errorf("route: spine collision for net %s", n.Name)
+		}
+		r.addM1(spine, n.Name)
+		r.spines = append(r.spines, geom.Shape{Layer: techno.LayerMetal1, R: spine, Net: n.Name})
+	}
+	return nil
+}

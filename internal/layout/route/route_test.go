@@ -1,0 +1,232 @@
+package route
+
+import (
+	"testing"
+
+	"loas/internal/layout/geom"
+	"loas/internal/techno"
+)
+
+// twoBlockCell builds a cell with two "module" blocks stacked vertically,
+// each exposing ports on shared nets, with a channel between them.
+func twoBlockCell() ([]geom.Rect, *geom.Cell) {
+	c := geom.NewCell("top")
+	// Block A occupies y 0..20000.
+	blockA := geom.XYWH(0, 0, 50000, 20000)
+	c.Add(techno.LayerActive, blockA, "")
+	c.AddPort("a.x", "x", techno.LayerMetal1, geom.XYWH(4000, 18000, 20000, 2000))
+	c.AddPort("a.y", "y", techno.LayerMetal1, geom.XYWH(28000, 18000, 20000, 2000))
+	// Block B occupies y 50000..70000 (channel between 20000 and 50000).
+	// Its ports sit on the opposite sides from block A so the trunks run
+	// long parallel spans.
+	blockB := geom.XYWH(0, 50000, 50000, 20000)
+	c.Add(techno.LayerActive, blockB, "")
+	c.AddPort("b.x", "x", techno.LayerMetal1, geom.XYWH(28000, 50000, 20000, 2000))
+	c.AddPort("b.y", "y", techno.LayerMetal1, geom.XYWH(4000, 50000, 20000, 2000))
+	return []geom.Rect{blockA, blockB}, c
+}
+
+func routeTwoBlocks(t *testing.T, nets []Net) (*Result, *geom.Cell) {
+	t.Helper()
+	tech := techno.Default060()
+	obstacles, cell := twoBlockCell()
+	res, err := Route(tech, cell, nets, Channels(obstacles, 20000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, cell
+}
+
+func TestChannelsFindGaps(t *testing.T) {
+	obstacles := []geom.Rect{
+		geom.XYWH(0, 0, 100, 100),
+		geom.XYWH(0, 200, 100, 100),
+		geom.XYWH(50, 220, 100, 50), // overlapping the second block
+	}
+	ch := Channels(obstacles, 40)
+	// Expect: below (−40..0), the 100..200 gap, above (300..340).
+	if len(ch) != 3 {
+		t.Fatalf("channels = %+v", ch)
+	}
+	if ch[0].B != -40 || ch[0].T != 0 {
+		t.Fatalf("bottom channel = %+v", ch[0])
+	}
+	if ch[1].B != 100 || ch[1].T != 200 {
+		t.Fatalf("middle channel = %+v", ch[1])
+	}
+	if ch[2].B != 300 || ch[2].T != 340 {
+		t.Fatalf("top channel = %+v", ch[2])
+	}
+	if (YRange{B: 2, T: 7}).H() != 5 {
+		t.Fatal("YRange.H broken")
+	}
+}
+
+func TestChannelsEmpty(t *testing.T) {
+	if ch := Channels(nil, 100); len(ch) != 1 {
+		t.Fatalf("empty obstacles: %+v", ch)
+	}
+}
+
+func TestRouteConnectsPorts(t *testing.T) {
+	res, cell := routeTwoBlocks(t, []Net{{Name: "x", Current: 100e-6}, {Name: "y", Current: 50e-6}})
+	for _, net := range []string{"x", "y"} {
+		if res.NetCap[net] <= 0 {
+			t.Fatalf("net %s got no wiring cap", net)
+		}
+		if res.Length[net] <= 0 {
+			t.Fatalf("net %s got no wire length", net)
+		}
+		if len(cell.NetShapes(net, techno.LayerMetal2)) == 0 {
+			t.Fatalf("net %s has no trunk", net)
+		}
+		// Both ports must be touched by a metal-1 branch.
+		for _, p := range cell.PortsOnNet(net) {
+			touched := false
+			for _, s := range cell.NetShapes(net, techno.LayerMetal1) {
+				if s.R.Intersects(p.R) {
+					touched = true
+				}
+			}
+			if !touched {
+				t.Fatalf("port %s not connected", p.Name)
+			}
+		}
+	}
+}
+
+func TestRouteLayerDiscipline(t *testing.T) {
+	// Metal-2 is horizontal-only, metal-1 vertical or short extensions;
+	// no same-layer different-net overlaps anywhere.
+	res, cell := routeTwoBlocks(t, []Net{{Name: "x"}, {Name: "y"}})
+	for _, w := range res.Wires {
+		if w.Layer == techno.LayerMetal2 && w.R.H() > w.R.W() {
+			t.Fatalf("vertical metal-2 wire %v", w.R)
+		}
+	}
+	for _, layer := range []techno.Layer{techno.LayerMetal1, techno.LayerMetal2} {
+		shapes := []geom.Shape{}
+		for _, s := range cell.Shapes {
+			if s.Layer == layer {
+				shapes = append(shapes, s)
+			}
+		}
+		for i := 0; i < len(shapes); i++ {
+			for j := i + 1; j < len(shapes); j++ {
+				if shapes[i].Net != shapes[j].Net && shapes[i].R.Intersects(shapes[j].R) {
+					t.Fatalf("%s short: %v (%s) overlaps %v (%s)", layer,
+						shapes[i].R, shapes[i].Net, shapes[j].R, shapes[j].Net)
+				}
+			}
+		}
+	}
+}
+
+func TestRouteTrunkSpacing(t *testing.T) {
+	tech := techno.Default060()
+	_, cell := routeTwoBlocks(t, []Net{{Name: "x"}, {Name: "y"}})
+	if msg, bad := cell.MinSpacingViolation(techno.LayerMetal2, tech.Rules.Metal2Space); bad {
+		t.Fatalf("trunk spacing violation: %s", msg)
+	}
+	if msg, bad := cell.MinSpacingViolation(techno.LayerMetal1, tech.Rules.Metal1Space); bad {
+		t.Fatalf("metal-1 spacing violation: %s", msg)
+	}
+}
+
+func TestRouteCouplingBetweenTrunks(t *testing.T) {
+	res, _ := routeTwoBlocks(t, []Net{{Name: "x"}, {Name: "y"}})
+	// Both nets land in the same channel on adjacent tracks: coupling.
+	c := res.Coupling[OrderedPair("x", "y")]
+	if c <= 0 {
+		t.Fatalf("no coupling between adjacent trunks (map: %v)", res.Coupling)
+	}
+	if c > 1e-12 {
+		t.Fatalf("coupling %g F implausibly large", c)
+	}
+}
+
+func TestRouteSingleOrNoPortNetsSkipped(t *testing.T) {
+	tech := techno.Default060()
+	cell := geom.NewCell("top")
+	block := geom.XYWH(0, 0, 10000, 10000)
+	cell.Add(techno.LayerActive, block, "")
+	cell.AddPort("a.z", "z", techno.LayerMetal1, geom.XYWH(0, 9000, 1000, 1000))
+	res, err := Route(tech, cell, []Net{{Name: "z"}, {Name: "ghost"}},
+		Channels([]geom.Rect{block}, 5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Wires) != 0 {
+		t.Fatal("single-port or missing nets must not create wires")
+	}
+}
+
+func TestRouteWireWidthTracksCurrent(t *testing.T) {
+	resA, cellA := routeTwoBlocks(t, []Net{{Name: "x", Current: 1e-6}})
+	resB, cellB := routeTwoBlocks(t, []Net{{Name: "x", Current: 5e-3}})
+	wA := cellA.NetShapes("x", techno.LayerMetal2)[0].R.H()
+	wB := cellB.NetShapes("x", techno.LayerMetal2)[0].R.H()
+	if wB <= wA {
+		t.Fatalf("5 mA trunk (%d nm) not wider than 1 µA trunk (%d nm)", wB, wA)
+	}
+	if resB.NetCap["x"] <= resA.NetCap["x"] {
+		t.Fatal("wider wire must have more capacitance")
+	}
+}
+
+func TestRouteDeterministic(t *testing.T) {
+	r1, _ := routeTwoBlocks(t, []Net{{Name: "y"}, {Name: "x"}})
+	r2, _ := routeTwoBlocks(t, []Net{{Name: "x"}, {Name: "y"}})
+	for _, net := range []string{"x", "y"} {
+		if r1.NetCap[net] != r2.NetCap[net] {
+			t.Fatalf("net %s cap differs with input order: %g vs %g",
+				net, r1.NetCap[net], r2.NetCap[net])
+		}
+	}
+}
+
+func TestRouteSpineForMultiChannelNet(t *testing.T) {
+	// Three stacked blocks; a net with ports in the bottom and top
+	// channels needs the margin spine.
+	tech := techno.Default060()
+	c := geom.NewCell("top")
+	var obstacles []geom.Rect
+	for i := 0; i < 3; i++ {
+		b := geom.XYWH(0, int64(i)*50000, 40000, 20000)
+		obstacles = append(obstacles, b)
+		c.Add(techno.LayerActive, b, "")
+	}
+	c.AddPort("a.s", "s", techno.LayerMetal1, geom.XYWH(2000, 18000, 10000, 2000))
+	c.AddPort("c.s", "s", techno.LayerMetal1, geom.XYWH(2000, 100000, 10000, 2000))
+	res, err := Route(tech, c, []Net{{Name: "s"}}, Channels(obstacles, 20000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The spine runs on the left margin: some metal-1 with x < 0.
+	spine := false
+	for _, w := range res.Wires {
+		if w.Layer == techno.LayerMetal1 && w.R.R <= 0 && w.R.H() > 40000 {
+			spine = true
+		}
+	}
+	if !spine {
+		t.Fatal("multi-channel net routed without a margin spine")
+	}
+}
+
+func TestRouteErrorsWithoutChannels(t *testing.T) {
+	tech := techno.Default060()
+	c := geom.NewCell("top")
+	if _, err := Route(tech, c, nil, nil); err == nil {
+		t.Fatal("no channels accepted")
+	}
+}
+
+func TestOrderedPair(t *testing.T) {
+	if OrderedPair("b", "a") != (NetPair{A: "a", B: "b"}) {
+		t.Fatal("pair not canonical")
+	}
+	if OrderedPair("a", "b") != OrderedPair("b", "a") {
+		t.Fatal("pair order-dependent")
+	}
+}

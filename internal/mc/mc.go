@@ -1,0 +1,201 @@
+// Package mc is the statistical verification interface of the sizing
+// tool ("a verification interface … permits to undergo statistical
+// analysis to check the reliability of the synthesized circuit"). It
+// perturbs every transistor's threshold and current factor with
+// Pelgrom-scaled random mismatch (σ ∝ 1/√(W·L)), re-simulates the DC
+// operating point, and extracts the input-referred offset distribution.
+//
+// A deterministic linear process-gradient model complements the random
+// part: the signed centroid of each device in its stack converts a VT
+// gradient along the die directly into systematic offset — which is
+// exactly the mismatch mechanism the common-centroid layout style of the
+// paper's Fig. 3/Fig. 5 exists to cancel.
+package mc
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"loas/internal/circuit"
+	"loas/internal/layout/stack"
+	"loas/internal/sim"
+	"loas/internal/techno"
+)
+
+// Sample is one Monte-Carlo draw.
+type Sample struct {
+	// DVT0 and DBeta map transistor name → applied shifts.
+	DVT0  map[string]float64
+	DBeta map[string]float64
+}
+
+// Draw generates mismatch shifts for every transistor in the circuit.
+// Each device gets an independent N(0, σ) draw with Pelgrom scaling on
+// its own W·L·M area (device-to-device correlation of identical pairs is
+// then √2 larger, as the coefficients define).
+func Draw(rng *rand.Rand, ckt *circuit.Circuit) Sample {
+	s := Sample{DVT0: map[string]float64{}, DBeta: map[string]float64{}}
+	for _, m := range ckt.MOSFETs() {
+		area := m.Dev.W * m.Dev.L * m.Dev.M()
+		if area <= 0 {
+			continue
+		}
+		// Single-device σ is the pair coefficient divided by √2.
+		sVT := m.Dev.Card.AVT / math.Sqrt(area) / math.Sqrt2
+		sB := m.Dev.Card.ABeta / math.Sqrt(area) / math.Sqrt2
+		s.DVT0[m.Name] = rng.NormFloat64() * sVT
+		s.DBeta[m.Name] = rng.NormFloat64() * sB
+	}
+	return s
+}
+
+// Apply clones each transistor's model card and applies the shifts; the
+// circuit is modified in place (use a freshly built netlist per sample).
+func (s Sample) Apply(ckt *circuit.Circuit) {
+	for _, m := range ckt.MOSFETs() {
+		card := *m.Dev.Card
+		card.VT0 += s.DVT0[m.Name]
+		card.KP *= 1 + s.DBeta[m.Name]
+		m.Dev.Card = &card
+	}
+}
+
+// OffsetConfig describes the offset measurement for Monte Carlo.
+type OffsetConfig struct {
+	// Build returns a fresh amplifier netlist (no input sources).
+	Build func() *circuit.Circuit
+	// InP, InN, Out name the ports; VicmDC biases the inputs; VoutMid is
+	// the output null target.
+	InP, InN, Out string
+	VicmDC        float64
+	VoutMid       float64
+	CLName        string // ignored; load is not needed for DC offset
+	Temp          float64
+	NodeSet       map[string]float64
+	// SearchMV bounds the offset search (default ±25 mV).
+	SearchMV float64
+}
+
+// SimulateOffset nulls the output by bisection on the differential input
+// for one mismatch sample and returns the input-referred offset.
+func SimulateOffset(cfg OffsetConfig, s Sample) (float64, error) {
+	search := cfg.SearchMV
+	if search <= 0 {
+		search = 25
+	}
+	solve := func(vid float64) (float64, error) {
+		ckt := cfg.Build()
+		s.Apply(ckt)
+		ckt.Add(
+			&circuit.VSource{Name: "mcp", Pos: cfg.InP, Neg: circuit.Ground, DC: cfg.VicmDC + vid/2},
+			&circuit.VSource{Name: "mcn", Pos: cfg.InN, Neg: circuit.Ground, DC: cfg.VicmDC - vid/2},
+		)
+		eng := sim.NewEngine(ckt, cfg.Temp)
+		ns := map[string]float64{cfg.InP: cfg.VicmDC, cfg.InN: cfg.VicmDC, cfg.Out: cfg.VoutMid}
+		for k, v := range cfg.NodeSet {
+			ns[k] = v
+		}
+		op, err := eng.OP(sim.OPOptions{NodeSet: ns})
+		if err != nil {
+			return 0, err
+		}
+		return op.Volt(ckt, cfg.Out) - cfg.VoutMid, nil
+	}
+	lo, hi := -search*1e-3, search*1e-3
+	fLo, err := solve(lo)
+	if err != nil {
+		return 0, err
+	}
+	fHi, err := solve(hi)
+	if err != nil {
+		return 0, err
+	}
+	if math.Signbit(fLo) == math.Signbit(fHi) {
+		return 0, fmt.Errorf("mc: offset outside ±%.0f mV search window", search)
+	}
+	var vid float64
+	for i := 0; i < 18; i++ {
+		vid = 0.5 * (lo + hi)
+		f, err := solve(vid)
+		if err != nil {
+			return 0, err
+		}
+		if math.Signbit(f) == math.Signbit(fLo) {
+			lo = vid
+		} else {
+			hi = vid
+		}
+	}
+	return vid, nil
+}
+
+// OffsetStats summarizes a Monte-Carlo offset run.
+type OffsetStats struct {
+	N          int
+	MeanV      float64
+	SigmaV     float64
+	WorstAbsV  float64
+	Failures   int // samples whose offset escaped the search window
+}
+
+// RunOffset draws n samples and returns the offset statistics. The run is
+// deterministic for a given seed.
+func RunOffset(cfg OffsetConfig, n int, seed int64) (*OffsetStats, error) {
+	rng := rand.New(rand.NewSource(seed))
+	stats := &OffsetStats{}
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		base := cfg.Build()
+		s := Draw(rng, base)
+		off, err := SimulateOffset(cfg, s)
+		if err != nil {
+			stats.Failures++
+			continue
+		}
+		stats.N++
+		sum += off
+		sum2 += off * off
+		if a := math.Abs(off); a > stats.WorstAbsV {
+			stats.WorstAbsV = a
+		}
+	}
+	if stats.N == 0 {
+		return stats, fmt.Errorf("mc: all %d samples failed", n)
+	}
+	stats.MeanV = sum / float64(stats.N)
+	stats.SigmaV = math.Sqrt(sum2/float64(stats.N) - stats.MeanV*stats.MeanV)
+	return stats, nil
+}
+
+// EstimateOffsetSigma is the analytic companion (the sizing tool's quick
+// reliability number): the input pair's own VT mismatch plus the load
+// mismatch divided by the pair's transconductance ratio.
+//
+// σ²(Voff) = σ²VT(pair) + (gmLoad/gmPair)²·σ²VT(load)
+func EstimateOffsetSigma(card *techno.MOSCard, wPair, lPair float64,
+	loadCard *techno.MOSCard, wLoad, lLoad, gmRatio float64) float64 {
+	sPair := card.AVT / math.Sqrt(wPair*lPair)
+	sLoad := loadCard.AVT / math.Sqrt(wLoad*lLoad)
+	return math.Sqrt(sPair*sPair + gmRatio*gmRatio*sLoad*sLoad)
+}
+
+// GradientVTShift converts a linear VT process gradient along a stack
+// (volts per gate pitch) into per-device threshold shifts using the
+// pattern's signed centroids. Perfect common-centroid devices get zero —
+// the quantitative payoff of the paper's matched-stack style.
+func GradientVTShift(p *stack.Pattern, voltsPerPitch float64) map[string]float64 {
+	out := map[string]float64{}
+	for name, c := range p.SignedCentroid() {
+		out[name] = c * voltsPerPitch
+	}
+	return out
+}
+
+// GradientPairOffset returns the input-referred offset a VT gradient
+// induces on a differential pair laid out as the given stack: the
+// difference of the two devices' gradient shifts.
+func GradientPairOffset(p *stack.Pattern, a, b string, voltsPerPitch float64) float64 {
+	sh := GradientVTShift(p, voltsPerPitch)
+	return sh[a] - sh[b]
+}

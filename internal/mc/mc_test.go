@@ -1,0 +1,194 @@
+package mc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"loas/internal/circuit"
+	"loas/internal/device"
+	"loas/internal/layout/stack"
+	"loas/internal/sizing"
+	"loas/internal/techno"
+)
+
+const um = techno.Micron
+
+func TestDrawPelgromScaling(t *testing.T) {
+	tech := techno.Default060()
+	mk := func(name string, w float64) *circuit.MOSFET {
+		return &circuit.MOSFET{Name: name, D: "d", G: "g", S: "0", B: "0",
+			Dev: device.MOS{Card: &tech.N, W: w, L: 1 * um}}
+	}
+	small := circuit.New("s")
+	small.Add(mk("m", 4*um))
+	big := circuit.New("b")
+	big.Add(mk("m", 64*um))
+
+	// Empirical σ over many draws must scale as 1/√area (factor 4 here).
+	var sSmall, sBig float64
+	const n = 4000
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < n; i++ {
+		d := Draw(rng, small).DVT0["m"]
+		sSmall += d * d
+	}
+	rng = rand.New(rand.NewSource(2))
+	for i := 0; i < n; i++ {
+		d := Draw(rng, big).DVT0["m"]
+		sBig += d * d
+	}
+	ratio := math.Sqrt(sSmall / sBig)
+	if ratio < 3.4 || ratio > 4.6 {
+		t.Fatalf("σ ratio for 16× area = %.2f, want ≈ 4", ratio)
+	}
+}
+
+func TestApplyClonesCards(t *testing.T) {
+	tech := techno.Default060()
+	c := circuit.New("c")
+	c.Add(
+		&circuit.MOSFET{Name: "a", D: "d", G: "g", S: "0", B: "0",
+			Dev: device.MOS{Card: &tech.N, W: 10 * um, L: 1 * um}},
+		&circuit.MOSFET{Name: "b", D: "d2", G: "g", S: "0", B: "0",
+			Dev: device.MOS{Card: &tech.N, W: 10 * um, L: 1 * um}},
+	)
+	s := Sample{
+		DVT0:  map[string]float64{"a": 5e-3, "b": -5e-3},
+		DBeta: map[string]float64{"a": 0.01, "b": -0.01},
+	}
+	s.Apply(c)
+	va := c.FindMOS("a").Dev.Card.VT0
+	vb := c.FindMOS("b").Dev.Card.VT0
+	if va == vb {
+		t.Fatal("shifts not applied independently")
+	}
+	if tech.N.VT0 != 0.75 {
+		t.Fatal("Apply mutated the shared technology card")
+	}
+}
+
+// fcConfig builds the Monte-Carlo offset bench on the case-1 OTA.
+func fcConfig(t *testing.T) OffsetConfig {
+	t.Helper()
+	tech := techno.Default060()
+	ps, _ := sizing.Case(1)
+	d, err := sizing.SizeFoldedCascode(tech, sizing.Default65MHz(), ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return OffsetConfig{
+		Build:   func() *circuit.Circuit { return d.Netlist("mc") },
+		InP:     sizing.NetInP,
+		InN:     sizing.NetInN,
+		Out:     sizing.NetOut,
+		VicmDC:  0.645,
+		VoutMid: 1.41,
+		Temp:    tech.Temp,
+		NodeSet: d.NodeSet(),
+	}
+}
+
+func TestRunOffsetStatistics(t *testing.T) {
+	cfg := fcConfig(t)
+	stats, err := RunOffset(cfg, 12, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.N < 10 {
+		t.Fatalf("only %d of 12 samples converged (%d failures)", stats.N, stats.Failures)
+	}
+	// Input-referred offset σ of a 140 µm / 1 µm pair with cascode loads:
+	// fractions of a millivolt to a few millivolts.
+	if stats.SigmaV < 0.1e-3 || stats.SigmaV > 8e-3 {
+		t.Fatalf("σ(offset) = %.3f mV outside the plausible band", stats.SigmaV*1e3)
+	}
+	if math.Abs(stats.MeanV) > 3*stats.SigmaV {
+		t.Fatalf("offset mean %.3f mV inconsistent with σ %.3f mV",
+			stats.MeanV*1e3, stats.SigmaV*1e3)
+	}
+	if stats.WorstAbsV < stats.SigmaV/2 {
+		t.Fatal("worst case below sigma — bookkeeping broken")
+	}
+}
+
+func TestRunOffsetDeterministic(t *testing.T) {
+	cfg := fcConfig(t)
+	a, err := RunOffset(cfg, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunOffset(cfg, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SigmaV != b.SigmaV || a.MeanV != b.MeanV {
+		t.Fatal("same seed must reproduce the same statistics")
+	}
+}
+
+func TestEstimateOffsetSigma(t *testing.T) {
+	tech := techno.Default060()
+	// Bigger devices → smaller offset.
+	small := EstimateOffsetSigma(&tech.P, 20*um, 1*um, &tech.N, 20*um, 1*um, 0.5)
+	big := EstimateOffsetSigma(&tech.P, 200*um, 1*um, &tech.N, 200*um, 1*um, 0.5)
+	if big >= small {
+		t.Fatalf("offset should shrink with area: %g vs %g", big, small)
+	}
+	// Load contribution suppressed by the gm ratio.
+	loadHeavy := EstimateOffsetSigma(&tech.P, 20*um, 1*um, &tech.N, 20*um, 1*um, 2.0)
+	if loadHeavy <= small {
+		t.Fatal("larger gm ratio should worsen the load contribution")
+	}
+}
+
+func TestGradientRewardsCommonCentroid(t *testing.T) {
+	// An optimized (near common-centroid) pair versus a naive AABB
+	// arrangement under the same gradient.
+	spec := stack.PatternSpec{
+		Devices: []stack.Device{
+			{Name: "A", Units: 2, DrainNet: "da", GateNet: "ga"},
+			{Name: "B", Units: 2, DrainNet: "db", GateNet: "gb"},
+		},
+		SourceNet: "tail", EndDummies: true,
+	}
+	good, err := stack.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const grad = 1e-3 // 1 mV per gate pitch
+	offGood := math.Abs(GradientPairOffset(good, "A", "B", grad))
+
+	// Naive AABB: centroids differ by 2 pitches → 2 mV offset.
+	sc := good.SignedCentroid()
+	_ = sc
+	offNaive := 2 * grad
+	if offGood >= offNaive {
+		t.Fatalf("optimized stack offset %.3g V should beat AABB %.3g V", offGood, offNaive)
+	}
+	if offGood > 0.8e-3 {
+		t.Fatalf("optimized stack gradient offset %.3g V too large", offGood)
+	}
+}
+
+func TestGradientShiftSigns(t *testing.T) {
+	p, err := stack.Generate(stack.PatternSpec{
+		Devices: []stack.Device{
+			{Name: "L", Units: 1, DrainNet: "dl", GateNet: "g"},
+			{Name: "R", Units: 1, DrainNet: "dr", GateNet: "g"},
+		},
+		SourceNet: "s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := GradientVTShift(p, 1e-3)
+	// Two single units: one sits left of centre, one right — equal and
+	// opposite shifts.
+	if math.Abs(sh["L"]+sh["R"]) > 1e-12 {
+		t.Fatalf("antisymmetric shifts expected: %v", sh)
+	}
+	if sh["L"] == 0 {
+		t.Fatal("distinct positions must shift")
+	}
+}

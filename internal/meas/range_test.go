@@ -1,0 +1,96 @@
+package meas
+
+import (
+	"math"
+	"testing"
+
+	"loas/internal/circuit"
+	"loas/internal/sim"
+	"loas/internal/techno"
+)
+
+func TestDCSweepWarmStart(t *testing.T) {
+	// Sweep the input of a resistor divider: exact linear response.
+	c := circuit.New("dv")
+	c.Add(
+		&circuit.VSource{Name: "in", Pos: "a", Neg: "0", DC: 0},
+		&circuit.Resistor{Name: "1", A: "a", B: "m", R: 1e3},
+		&circuit.Resistor{Name: "2", A: "m", B: "0", R: 1e3},
+	)
+	eng := sim.NewEngine(c, techno.TempNominal)
+	vals := []float64{0, 0.5, 1.0, 1.5, 2.0}
+	res, err := eng.DCSweep("in", vals, sim.OPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if got := r.Volt(c, "m"); math.Abs(got-vals[i]/2) > 1e-9 {
+			t.Fatalf("point %d: V(m) = %g, want %g", i, got, vals[i]/2)
+		}
+	}
+	// The source value must be restored.
+	if c.VSources()[0].DC != 0 {
+		t.Fatal("sweep did not restore the source")
+	}
+	if _, err := eng.DCSweep("ghost", vals, sim.OPOptions{}); err == nil {
+		t.Fatal("unknown source accepted")
+	}
+}
+
+func TestOutputRangeCoversSpec(t *testing.T) {
+	d, _ := measured(t)
+	b := benchFor(d)
+	lo, hi, err := OutputRange(b, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := d.Spec
+	// The plan derived its cascode overdrives from [OutLow, OutHigh];
+	// the measured high-gain output range must cover that window.
+	if lo > spec.OutLow+0.1 {
+		t.Fatalf("measured low edge %.2f V above spec %.2f V", lo, spec.OutLow)
+	}
+	if hi < spec.OutHigh-0.1 {
+		t.Fatalf("measured high edge %.2f V below spec %.2f V", hi, spec.OutHigh)
+	}
+	if hi-lo > d.Spec.VDD {
+		t.Fatalf("range [%.2f, %.2f] exceeds the rails", lo, hi)
+	}
+}
+
+func TestInputCMRange(t *testing.T) {
+	d, _ := measured(t)
+	b := benchFor(d)
+	lo, hi, err := InputCMRange(b, 50e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PMOS-input folded cascode: tracks from the bottom of the sweep
+	// (true limit is below ground) up to ≈ min(ICMHigh, OutHigh).
+	if lo > 0.7 {
+		t.Fatalf("CM low edge %.2f V too high", lo)
+	}
+	if hi < 1.7 {
+		t.Fatalf("CM high edge %.2f V below the ICM spec region", hi)
+	}
+}
+
+// benchFor rebuilds the standard bench (helper for the range tests).
+func benchFor(d interface {
+	AssumedNetlist(string) *circuit.Circuit
+	NodeSet() map[string]float64
+}) Bench {
+	tech := techno.Default060()
+	return Bench{
+		Build:      func() *circuit.Circuit { return d.AssumedNetlist("rng") },
+		InP:        "inp",
+		InN:        "inn",
+		Out:        "out",
+		SupplyName: "dd",
+		CL:         3e-12,
+		VicmDC:     0.645,
+		VoutMid:    1.41,
+		Temp:       tech.Temp,
+		NodeSet:    d.NodeSet(),
+	}
+}

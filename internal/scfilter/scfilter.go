@@ -1,0 +1,186 @@
+// Package scfilter builds switched-capacitor circuits on top of a
+// synthesized OTA — the paper's stated future work ("synthesis of larger
+// systems as switched capacitor filters … using the same methodology").
+//
+// The blocks are modelled in the discrete-time domain with the standard
+// non-ideality corrections driven by the OTA figures the synthesis flow
+// delivers: finite DC gain (static gain and phase error), finite
+// gain-bandwidth (incomplete settling) and slew-rate limiting (maximum
+// step before the linear-settling model breaks).
+package scfilter
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"loas/internal/sizing"
+)
+
+// OTAModel is the subset of amplifier performance the SC analysis needs.
+type OTAModel struct {
+	DCGain float64 // V/V (not dB)
+	GBW    float64 // Hz
+	SR     float64 // V/s
+}
+
+// FromPerformance converts a measured/synthesized Performance.
+func FromPerformance(p sizing.Performance) OTAModel {
+	return OTAModel{
+		DCGain: math.Pow(10, p.DCGainDB/20),
+		GBW:    p.GBW,
+		SR:     p.SlewRate,
+	}
+}
+
+// Integrator is a parasitic-insensitive (bottom-plate) SC integrator.
+type Integrator struct {
+	OTA    OTAModel
+	Cs, Cf float64 // sampling and feedback capacitors (F)
+	Fs     float64 // clock frequency (Hz)
+}
+
+// Validate checks parameter sanity.
+func (g *Integrator) Validate() error {
+	switch {
+	case g.Cs <= 0 || g.Cf <= 0:
+		return fmt.Errorf("scfilter: capacitors must be positive")
+	case g.Fs <= 0:
+		return fmt.Errorf("scfilter: clock must be positive")
+	case g.OTA.DCGain <= 1:
+		return fmt.Errorf("scfilter: OTA gain %.2f too low", g.OTA.DCGain)
+	case g.OTA.GBW <= 0:
+		return fmt.Errorf("scfilter: OTA GBW must be positive")
+	}
+	return nil
+}
+
+// FeedbackFactor is the charge-transfer feedback factor Cf/(Cf+Cs).
+func (g *Integrator) FeedbackFactor() float64 { return g.Cf / (g.Cf + g.Cs) }
+
+// SettlingError returns the relative linear settling error left at the
+// end of a half clock period: exp(−T/2·τ) with τ = 1/(2π·β·GBW).
+func (g *Integrator) SettlingError() float64 {
+	tau := 1 / (2 * math.Pi * g.FeedbackFactor() * g.OTA.GBW)
+	return math.Exp(-1 / (2 * g.Fs * tau))
+}
+
+// GainError returns the static charge-transfer gain error from the
+// finite DC gain: ≈ 1/(A·β).
+func (g *Integrator) GainError() float64 {
+	return 1 / (g.OTA.DCGain * g.FeedbackFactor())
+}
+
+// H returns the integrator transfer function at frequency f, including
+// the finite-gain magnitude/phase corrections and the settling error.
+// The ideal response is −(Cs/Cf)·e^{−jωT/2}/(1 − e^{−jωT}).
+func (g *Integrator) H(f float64) complex128 {
+	wT := 2 * math.Pi * f / g.Fs
+	z1 := cmplx.Exp(complex(0, -wT)) // z^{-1}
+
+	// Finite gain: leaky integration — the pole moves inside the unit
+	// circle by 1/(A·β), and the passband gain drops by the same amount.
+	leak := g.GainError()
+	actual := -complex(g.Cs/g.Cf*(1-leak), 0) * cmplx.Sqrt(z1) /
+		(1 - complex(1-leak, 0)*z1)
+
+	// Incomplete settling scales the transferred charge each cycle.
+	eps := g.SettlingError()
+	actual *= complex(1 - eps, 0)
+	return actual
+}
+
+// HIdeal returns the ideal (infinite-gain, fully settled) response.
+func (g *Integrator) HIdeal(f float64) complex128 {
+	wT := 2 * math.Pi * f / g.Fs
+	z1 := cmplx.Exp(complex(0, -wT))
+	return -complex(g.Cs/g.Cf, 0) * cmplx.Sqrt(z1) / (1 - z1)
+}
+
+// UnityGainFreq returns the integrator's unity-gain frequency
+// fs·(Cs/Cf)/(2π) — the design equation for filter synthesis.
+func (g *Integrator) UnityGainFreq() float64 {
+	return g.Fs * g.Cs / g.Cf / (2 * math.Pi)
+}
+
+// MaxStep returns the largest output step that still settles linearly
+// (slew-limited settling starts above SR·T/2 with margin for the linear
+// tail).
+func (g *Integrator) MaxStep() float64 {
+	if g.OTA.SR <= 0 {
+		return 0
+	}
+	return g.OTA.SR / (2 * g.Fs) * 0.5
+}
+
+// MaxClock returns the highest clock for a target settling error.
+func (g *Integrator) MaxClock(eps float64) float64 {
+	if eps <= 0 || eps >= 1 {
+		return 0
+	}
+	tau := 1 / (2 * math.Pi * g.FeedbackFactor() * g.OTA.GBW)
+	return 1 / (2 * tau * math.Log(1/eps))
+}
+
+// Biquad is a two-integrator-loop (Fleischer–Laker style) SC bandpass /
+// lowpass section built from two integrators sharing one OTA design.
+type Biquad struct {
+	OTA    OTAModel
+	Fs     float64
+	F0     float64 // centre frequency (Hz)
+	Q      float64
+	GainLP float64 // passband gain of the lowpass output
+}
+
+// Validate checks parameter sanity.
+func (b *Biquad) Validate() error {
+	switch {
+	case b.Fs <= 0 || b.F0 <= 0 || b.Q <= 0:
+		return fmt.Errorf("scfilter: biquad needs positive fs, f0, Q")
+	case b.F0 >= b.Fs/4:
+		return fmt.Errorf("scfilter: f0 = %g too close to fs/2", b.F0)
+	}
+	return nil
+}
+
+// CapRatios returns the designed capacitor ratios of the
+// lossless-discrete-integrator pair: k1 = k2 = ω0·T and damping ω0·T/Q
+// (with LDI phasing the loop carries exactly one delay, so no
+// Q-predistortion is required).
+func (b *Biquad) CapRatios() (k1, k2, damp float64) {
+	w0T := 2 * math.Pi * b.F0 / b.Fs
+	return w0T, w0T, w0T / b.Q
+}
+
+// HLowpass evaluates the lowpass output response at frequency f with the
+// OTA non-idealities applied to both integrators. The loop is the
+// classic two-integrator topology:
+//
+//	v1   = I(z)·k1·(vin − vout)
+//	vout = I(z)·(k2·v1 − d·vout),  I(z) = z⁻¹/(1 − p·z⁻¹)
+//
+// with p < 1 (finite-gain leak) and k1, k2 scaled by the settling error.
+func (b *Biquad) HLowpass(f float64) complex128 {
+	k1, k2, damp := b.CapRatios()
+	g := Integrator{OTA: b.OTA, Cs: k1, Cf: 1, Fs: b.Fs}
+	leak := g.GainError()
+	eps := g.SettlingError()
+	k1 *= 1 - eps
+	k2 *= 1 - eps
+
+	wT := 2 * math.Pi * f / b.Fs
+	zi := cmplx.Exp(complex(0, -wT)) // z⁻¹
+	p := complex(1-leak, 0)
+	// LDI pairing: the loop carries one full delay in total.
+	num := complex(k1*k2, 0) * zi
+	den := (1-p*zi)*(1-p*zi+complex(damp, 0)*zi) + num
+	return complex(b.GainLP, 0) * num / den
+}
+
+// ResonantGain returns |H| at f0 — ≈ Q·GainLP for an ideal section; OTA
+// finite gain lowers it, which is the SC-design sensitivity the paper's
+// methodology propagates from layout parasitics all the way to system
+// level.
+func (b *Biquad) ResonantGain() float64 {
+	return cmplx.Abs(b.HLowpass(b.F0))
+}

@@ -1,0 +1,201 @@
+package scfilter
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"loas/internal/sizing"
+)
+
+func goodOTA() OTAModel {
+	return OTAModel{DCGain: 5000, GBW: 65e6, SR: 80e6}
+}
+
+func integ() Integrator {
+	return Integrator{OTA: goodOTA(), Cs: 1e-12, Cf: 4e-12, Fs: 10e6}
+}
+
+func TestFromPerformance(t *testing.T) {
+	p := sizing.Performance{DCGainDB: 60, GBW: 1e8, SlewRate: 5e7}
+	m := FromPerformance(p)
+	if math.Abs(m.DCGain-1000) > 1e-9 {
+		t.Fatalf("gain = %g, want 1000", m.DCGain)
+	}
+	if m.GBW != 1e8 || m.SR != 5e7 {
+		t.Fatal("fields not copied")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	g := integ()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Integrator{
+		{OTA: goodOTA(), Cs: 0, Cf: 1e-12, Fs: 1e6},
+		{OTA: goodOTA(), Cs: 1e-12, Cf: 1e-12, Fs: 0},
+		{OTA: OTAModel{DCGain: 0.5, GBW: 1e8}, Cs: 1e-12, Cf: 1e-12, Fs: 1e6},
+		{OTA: OTAModel{DCGain: 100, GBW: 0}, Cs: 1e-12, Cf: 1e-12, Fs: 1e6},
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestFeedbackFactor(t *testing.T) {
+	g := integ()
+	if got := g.FeedbackFactor(); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("β = %g, want 0.8", got)
+	}
+}
+
+func TestSettlingErrorBehaviour(t *testing.T) {
+	g := integ()
+	e1 := g.SettlingError()
+	if e1 <= 0 || e1 >= 1 {
+		t.Fatalf("settling error %g out of range", e1)
+	}
+	// Faster clock → worse settling.
+	g.Fs *= 10
+	if e2 := g.SettlingError(); e2 <= e1 {
+		t.Fatalf("faster clock should settle worse: %g vs %g", e2, e1)
+	}
+	// Faster OTA → better settling.
+	g = integ()
+	g.OTA.GBW *= 4
+	if e3 := g.SettlingError(); e3 >= e1 {
+		t.Fatalf("faster OTA should settle better: %g vs %g", e3, e1)
+	}
+}
+
+func TestGainErrorScalesWithDCGain(t *testing.T) {
+	g := integ()
+	e1 := g.GainError()
+	g.OTA.DCGain *= 10
+	if e2 := g.GainError(); math.Abs(e2*10-e1) > 1e-12 {
+		t.Fatalf("gain error should scale as 1/A: %g vs %g", e1, e2)
+	}
+}
+
+func TestHMatchesIdealForPerfectOTA(t *testing.T) {
+	g := integ()
+	g.OTA.DCGain = 1e9
+	g.OTA.GBW = 1e12
+	for _, f := range []float64{1e3, 1e4, 1e5, 1e6} {
+		h := g.H(f)
+		hi := g.HIdeal(f)
+		if cmplx.Abs(h-hi)/cmplx.Abs(hi) > 1e-3 {
+			t.Fatalf("perfect OTA should match ideal at %g Hz: %v vs %v", f, h, hi)
+		}
+	}
+}
+
+func TestHIdealSlope(t *testing.T) {
+	// An integrator loses 20 dB per decade.
+	g := integ()
+	m1 := cmplx.Abs(g.HIdeal(1e3))
+	m2 := cmplx.Abs(g.HIdeal(1e4))
+	ratio := m1 / m2
+	if math.Abs(ratio-10) > 0.3 {
+		t.Fatalf("integrator slope: |H(1k)|/|H(10k)| = %g, want ≈ 10", ratio)
+	}
+}
+
+func TestFiniteGainFlattensLowFreq(t *testing.T) {
+	// Finite gain limits the low-frequency magnitude to ≈ A·β·(Cs/Cf)…
+	// i.e. H stops growing as f → 0 while the ideal diverges.
+	g := integ()
+	g.OTA.DCGain = 100
+	hReal := cmplx.Abs(g.H(1.0))
+	hIdeal := cmplx.Abs(g.HIdeal(1.0))
+	if hReal >= hIdeal {
+		t.Fatalf("leaky integrator should be below ideal at DC: %g vs %g", hReal, hIdeal)
+	}
+	bound := g.OTA.DCGain * 2 // loose ceiling
+	if hReal > bound {
+		t.Fatalf("low-frequency gain %g above finite-gain ceiling %g", hReal, bound)
+	}
+}
+
+func TestUnityGainFreq(t *testing.T) {
+	g := integ()
+	fu := g.UnityGainFreq()
+	want := 10e6 * 0.25 / (2 * math.Pi)
+	if math.Abs(fu-want)/want > 1e-12 {
+		t.Fatalf("fu = %g, want %g", fu, want)
+	}
+	// |H| at fu must be ≈ 1.
+	if got := cmplx.Abs(g.HIdeal(fu)); math.Abs(got-1) > 0.05 {
+		t.Fatalf("|H(fu)| = %g", got)
+	}
+}
+
+func TestMaxStepAndClock(t *testing.T) {
+	g := integ()
+	if g.MaxStep() <= 0 {
+		t.Fatal("max step should be positive with finite SR")
+	}
+	g.OTA.SR = 0
+	if g.MaxStep() != 0 {
+		t.Fatal("zero SR should have zero step budget")
+	}
+	g = integ()
+	fc := g.MaxClock(0.001)
+	if fc <= 0 {
+		t.Fatal("max clock must be positive")
+	}
+	// At that clock the settling error must be exactly the target.
+	g.Fs = fc
+	if e := g.SettlingError(); math.Abs(e-0.001)/0.001 > 1e-9 {
+		t.Fatalf("settling at max clock = %g, want 0.001", e)
+	}
+	if g.MaxClock(0) != 0 || g.MaxClock(1) != 0 {
+		t.Fatal("degenerate eps should return 0")
+	}
+}
+
+func TestBiquadValidate(t *testing.T) {
+	b := Biquad{OTA: goodOTA(), Fs: 10e6, F0: 250e3, Q: 10, GainLP: 1}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	b.F0 = 4e6 // too close to Nyquist
+	if err := b.Validate(); err == nil {
+		t.Fatal("f0 near fs/2 accepted")
+	}
+	b = Biquad{OTA: goodOTA(), Fs: 0, F0: 1, Q: 1}
+	if err := b.Validate(); err == nil {
+		t.Fatal("zero fs accepted")
+	}
+}
+
+func TestBiquadResonance(t *testing.T) {
+	b := Biquad{OTA: goodOTA(), Fs: 10e6, F0: 250e3, Q: 10, GainLP: 1}
+	rg := b.ResonantGain()
+	if rg < 7 || rg > 12 {
+		t.Fatalf("resonant gain %g, want ≈ Q = 10", rg)
+	}
+	// Passband (f << f0): |H| ≈ GainLP.
+	lp := cmplx.Abs(b.HLowpass(5e3))
+	if math.Abs(lp-1) > 0.15 {
+		t.Fatalf("passband gain %g, want ≈ 1", lp)
+	}
+	// Stopband: two octaves above f0, well below passband.
+	hs := cmplx.Abs(b.HLowpass(1e6))
+	if hs > 0.5 {
+		t.Fatalf("stopband gain %g too high", hs)
+	}
+}
+
+func TestBiquadQDropsWithOTAGain(t *testing.T) {
+	hi := Biquad{OTA: goodOTA(), Fs: 10e6, F0: 250e3, Q: 20, GainLP: 1}
+	lo := hi
+	lo.OTA.DCGain = 60
+	if lo.ResonantGain() >= hi.ResonantGain() {
+		t.Fatalf("finite OTA gain should deflate Q: %g vs %g",
+			lo.ResonantGain(), hi.ResonantGain())
+	}
+}

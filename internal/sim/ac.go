@@ -1,0 +1,229 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"loas/internal/circuit"
+	"loas/internal/linalg"
+)
+
+// acStamps is the linearized circuit at a DC operating point, precompiled
+// into flat stamp lists so a frequency sweep only re-assembles jωC terms.
+type acStamps struct {
+	e *Engine
+	// conductance entries G[i][j] += g (i, j are unknown indices ≥ 0).
+	gRow, gCol []int
+	gVal       []float64
+	// capacitance entries Y[i][j] += jω·c.
+	cRow, cCol []int
+	cVal       []float64
+	// constant ±1 incidence entries (voltage source branches etc.).
+	uRow, uCol []int
+	uVal       []float64
+	// AC excitation vector (frequency-independent phasors).
+	rhs []complex128
+}
+
+// addG accumulates the two-terminal conductance stamp between unknowns a,b.
+func (s *acStamps) addG(a, b int, g float64) {
+	s.add4(&s.gRow, &s.gCol, &s.gVal, a, b, g)
+}
+
+// addC accumulates the two-terminal capacitance stamp between unknowns a,b.
+func (s *acStamps) addC(a, b int, c float64) {
+	s.add4(&s.cRow, &s.cCol, &s.cVal, a, b, c)
+}
+
+func (s *acStamps) add4(rows, cols *[]int, vals *[]float64, a, b int, v float64) {
+	if v == 0 {
+		return
+	}
+	if a >= 0 {
+		*rows = append(*rows, a)
+		*cols = append(*cols, a)
+		*vals = append(*vals, v)
+		if b >= 0 {
+			*rows = append(*rows, a)
+			*cols = append(*cols, b)
+			*vals = append(*vals, -v)
+		}
+	}
+	if b >= 0 {
+		*rows = append(*rows, b)
+		*cols = append(*cols, b)
+		*vals = append(*vals, v)
+		if a >= 0 {
+			*rows = append(*rows, b)
+			*cols = append(*cols, a)
+			*vals = append(*vals, -v)
+		}
+	}
+}
+
+// addEntry records a single raw matrix entry.
+func (s *acStamps) addEntry(i, j int, v float64) {
+	if i < 0 || j < 0 || v == 0 {
+		return
+	}
+	s.uRow = append(s.uRow, i)
+	s.uCol = append(s.uCol, j)
+	s.uVal = append(s.uVal, v)
+}
+
+// compileAC linearizes the circuit at op.
+func (e *Engine) compileAC(op *OPResult) *acStamps {
+	s := &acStamps{e: e, rhs: make([]complex128, e.size)}
+	ckt := e.Ckt
+	for _, el := range ckt.Elements {
+		switch t := el.(type) {
+		case *circuit.Resistor:
+			s.addG(e.unknownOf(t.A), e.unknownOf(t.B), 1/t.R)
+
+		case *circuit.Capacitor:
+			s.addC(e.unknownOf(t.A), e.unknownOf(t.B), t.C)
+
+		case *circuit.ISource:
+			if t.ACMag != 0 {
+				ph := cmplx.Rect(t.ACMag, t.ACPhase*math.Pi/180)
+				if a := e.unknownOf(t.Pos); a >= 0 {
+					s.rhs[a] -= ph // current leaves Pos through the source
+				}
+				if b := e.unknownOf(t.Neg); b >= 0 {
+					s.rhs[b] += ph
+				}
+			}
+
+		case *circuit.VSource:
+			br := e.branch[t.Name]
+			a, b := e.unknownOf(t.Pos), e.unknownOf(t.Neg)
+			s.addEntry(a, br, 1)
+			s.addEntry(b, br, -1)
+			s.addEntry(br, a, 1)
+			s.addEntry(br, b, -1)
+			if t.ACMag != 0 {
+				s.rhs[br] += cmplx.Rect(t.ACMag, t.ACPhase*math.Pi/180)
+			}
+
+		case *circuit.VCVS:
+			br := e.branch[t.Name]
+			a, b := e.unknownOf(t.Pos), e.unknownOf(t.Neg)
+			ca, cb := e.unknownOf(t.CPos), e.unknownOf(t.CNeg)
+			s.addEntry(a, br, 1)
+			s.addEntry(b, br, -1)
+			s.addEntry(br, a, 1)
+			s.addEntry(br, b, -1)
+			s.addEntry(br, ca, -t.Gain)
+			s.addEntry(br, cb, t.Gain)
+
+		case *circuit.MOSFET:
+			d, g, srcU, bk := e.unknownOf(t.D), e.unknownOf(t.G), e.unknownOf(t.S), e.unknownOf(t.B)
+			vd := voltAtNode(op, ckt, t.D)
+			vg := voltAtNode(op, ckt, t.G)
+			vs := voltAtNode(op, ckt, t.S)
+			vb := voltAtNode(op, ckt, t.B)
+			_, dd, dg, ds, db := mosPartials(t, vd, vg, vs, vb, e.Temp)
+			// Drain current linearization: i_d = dd·vd + dg·vg + ds·vs + db·vb,
+			// entering the drain and leaving the source.
+			for _, tm := range []struct {
+				u int
+				p float64
+			}{{d, dd}, {g, dg}, {srcU, ds}, {bk, db}} {
+				if tm.p == 0 {
+					continue
+				}
+				s.addEntry(d, tm.u, tm.p)
+				if srcU >= 0 {
+					s.addEntry(srcU, tm.u, -tm.p)
+				}
+			}
+			// Small-signal capacitances at the bias point.
+			mop := op.MOSOPs[t.Name]
+			cs := t.Dev.Caps(mop, e.Temp)
+			s.addC(g, srcU, cs.CGS)
+			s.addC(g, d, cs.CGD)
+			s.addC(g, bk, cs.CGB)
+			s.addC(d, bk, cs.CDB)
+			s.addC(srcU, bk, cs.CSB)
+
+		default:
+			panic(fmt.Sprintf("sim: unsupported element %T", el))
+		}
+	}
+	return s
+}
+
+func voltAtNode(op *OPResult, ckt *circuit.Circuit, node string) float64 {
+	i, _ := ckt.NodeIndex(node)
+	return op.V[i]
+}
+
+// assemble builds the complex MNA matrix at angular frequency w.
+func (s *acStamps) assemble(w float64) *linalg.Complex {
+	y := linalg.NewComplex(s.e.size)
+	for k, v := range s.gVal {
+		y.Add(s.gRow[k], s.gCol[k], complex(v, 0))
+	}
+	for k, v := range s.uVal {
+		y.Add(s.uRow[k], s.uCol[k], complex(v, 0))
+	}
+	for k, v := range s.cVal {
+		y.Add(s.cRow[k], s.cCol[k], complex(0, w*v))
+	}
+	return y
+}
+
+// ACResult holds one frequency point.
+type ACResult struct {
+	Freq float64
+	// V holds node phasors indexed by circuit node index (0 = ground).
+	V []complex128
+}
+
+// Volt returns the phasor at a named node.
+func (r *ACResult) Volt(ckt *circuit.Circuit, node string) complex128 {
+	i, ok := ckt.NodeIndex(node)
+	if !ok {
+		return cmplx.NaN()
+	}
+	if i == 0 {
+		return 0
+	}
+	return r.V[i]
+}
+
+// AC runs a small-signal analysis at the operating point over the given
+// frequencies (Hz). The sources' ACMag/ACPhase fields define the
+// excitation.
+func (e *Engine) AC(op *OPResult, freqs []float64) ([]*ACResult, error) {
+	st := e.compileAC(op)
+	out := make([]*ACResult, 0, len(freqs))
+	for _, f := range freqs {
+		y := st.assemble(2 * math.Pi * f)
+		lu, err := linalg.FactorComplex(y)
+		if err != nil {
+			return nil, fmt.Errorf("sim: AC matrix singular at %g Hz: %w", f, err)
+		}
+		x := lu.Solve(st.rhs)
+		r := &ACResult{Freq: f, V: make([]complex128, e.Ckt.NumNodes())}
+		for i := 1; i < e.Ckt.NumNodes(); i++ {
+			r.V[i] = x[e.nodeUnknown(i)]
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// LogSpace returns n logarithmically spaced frequencies from f1 to f2.
+func LogSpace(f1, f2 float64, n int) []float64 {
+	if n < 2 {
+		return []float64{f1}
+	}
+	out := make([]float64, n)
+	l1, l2 := math.Log10(f1), math.Log10(f2)
+	for i := range out {
+		out[i] = math.Pow(10, l1+(l2-l1)*float64(i)/float64(n-1))
+	}
+	return out
+}

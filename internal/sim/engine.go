@@ -1,0 +1,84 @@
+// Package sim is the circuit simulator: DC operating point
+// (Newton–Raphson with gmin stepping), small-signal AC analysis (complex
+// MNA), noise analysis (adjoint method) and transient analysis
+// (trapezoidal integration).
+//
+// It substitutes for the commercial simulator/extractor combination used in
+// the paper's evaluation. Crucially, it shares the exact transistor model
+// (package device) with the sizing tool, which is the paper's own accuracy
+// recipe.
+package sim
+
+import (
+	"fmt"
+
+	"loas/internal/circuit"
+)
+
+// Engine binds a circuit to an unknown ordering: node voltages first
+// (ground excluded), then one branch current per voltage source and per
+// VCVS, in insertion order.
+type Engine struct {
+	Ckt  *circuit.Circuit
+	Temp float64 // K
+
+	nNodes   int // unknown node voltages = NumNodes-1
+	branch   map[string]int
+	nBranch  int
+	size     int
+	branches []branchElem
+}
+
+type branchElem struct {
+	name string
+	elem circuit.Element
+}
+
+// NewEngine prepares an engine for the circuit at temperature temp (K).
+func NewEngine(ckt *circuit.Circuit, temp float64) *Engine {
+	e := &Engine{Ckt: ckt, Temp: temp, branch: map[string]int{}}
+	e.nNodes = ckt.NumNodes() - 1
+	for _, el := range ckt.Elements {
+		switch el.(type) {
+		case *circuit.VSource, *circuit.VCVS:
+			e.branch[el.ElemName()] = e.nNodes + e.nBranch
+			e.branches = append(e.branches, branchElem{el.ElemName(), el})
+			e.nBranch++
+		}
+	}
+	e.size = e.nNodes + e.nBranch
+	return e
+}
+
+// Size returns the MNA system dimension.
+func (e *Engine) Size() int { return e.size }
+
+// nodeUnknown maps a circuit node index to its position in the unknown
+// vector; ground returns -1.
+func (e *Engine) nodeUnknown(nodeIdx int) int { return nodeIdx - 1 }
+
+// unknownOf interns the node name and returns its unknown index (-1 for
+// ground). Panics on unknown nodes: elements intern their nodes at Add
+// time, so a miss is a bug.
+func (e *Engine) unknownOf(name string) int {
+	i, ok := e.Ckt.NodeIndex(name)
+	if !ok {
+		panic(fmt.Sprintf("sim: node %q not in circuit %q", name, e.Ckt.Name))
+	}
+	return e.nodeUnknown(i)
+}
+
+// voltsAt reads a node voltage from an unknown vector (ground = 0).
+func voltsAt(x []float64, u int) float64 {
+	if u < 0 {
+		return 0
+	}
+	return x[u]
+}
+
+// BranchIndex returns the unknown index of a named source's branch current
+// and whether the source exists.
+func (e *Engine) BranchIndex(name string) (int, bool) {
+	i, ok := e.branch[name]
+	return i, ok
+}

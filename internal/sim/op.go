@@ -1,0 +1,392 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"loas/internal/circuit"
+	"loas/internal/device"
+	"loas/internal/linalg"
+)
+
+// OPOptions tunes the DC solver.
+type OPOptions struct {
+	// NodeSet seeds initial node voltages by name (good seeds from the
+	// sizing tool make convergence immediate).
+	NodeSet map[string]float64
+	// MaxIter per gmin step (default 200).
+	MaxIter int
+	// VTol is the voltage convergence tolerance (default 1 µV).
+	VTol float64
+	// MaxStep clamps the Newton update per unknown (default 0.5 V).
+	MaxStep float64
+	// GminStart/GminEnd bound the gmin continuation (defaults 1e-2 → 1e-12).
+	GminStart, GminEnd float64
+}
+
+func (o *OPOptions) defaults() {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 200
+	}
+	if o.VTol <= 0 {
+		o.VTol = 1e-6
+	}
+	if o.MaxStep <= 0 {
+		o.MaxStep = 0.5
+	}
+	if o.GminStart <= 0 {
+		o.GminStart = 1e-2
+	}
+	if o.GminEnd <= 0 {
+		o.GminEnd = 1e-12
+	}
+}
+
+// OPResult is a converged DC operating point.
+type OPResult struct {
+	// V holds node voltages indexed by circuit node index (0 = ground).
+	V []float64
+	// BranchI holds voltage-source branch currents by source name;
+	// positive current flows from Pos through the source to Neg.
+	BranchI map[string]float64
+	// MOSOPs holds per-transistor bias data by instance name.
+	MOSOPs map[string]device.OP
+	// Iterations is the total Newton iteration count across gmin steps.
+	Iterations int
+}
+
+// Volt returns the voltage of a named node.
+func (r *OPResult) Volt(ckt *circuit.Circuit, node string) float64 {
+	i, ok := ckt.NodeIndex(node)
+	if !ok {
+		return math.NaN()
+	}
+	return r.V[i]
+}
+
+// SupplyCurrent returns the magnitude of the current delivered by the
+// named supply source.
+func (r *OPResult) SupplyCurrent(name string) float64 {
+	return math.Abs(r.BranchI[name])
+}
+
+// mosPartials evaluates the drain current (into the drain terminal) and
+// its partial derivatives with respect to the four terminal voltages,
+// using central differences on the full device model. This sidesteps all
+// polarity/swap bookkeeping: whatever the model does, the Jacobian matches
+// it exactly.
+func mosPartials(m *circuit.MOSFET, vd, vg, vs, vb, temp float64) (id, dd, dg, ds, db float64) {
+	const h = 1e-6
+	f := func(vd, vg, vs, vb float64) float64 {
+		return m.Dev.Eval(vg, vd, vs, vb, temp).ID
+	}
+	id = f(vd, vg, vs, vb)
+	dd = (f(vd+h, vg, vs, vb) - f(vd-h, vg, vs, vb)) / (2 * h)
+	dg = (f(vd, vg+h, vs, vb) - f(vd, vg-h, vs, vb)) / (2 * h)
+	ds = (f(vd, vg, vs+h, vb) - f(vd, vg, vs-h, vb)) / (2 * h)
+	db = (f(vd, vg, vs, vb+h) - f(vd, vg, vs, vb-h)) / (2 * h)
+	return id, dd, dg, ds, db
+}
+
+// stampDC assembles the Jacobian J and residual f at candidate solution x
+// for a given gmin and source scale (0..1). The residual convention is
+// f(x) = 0 at solution; Newton solves J·Δ = −f.
+// tNow < 0 means pure DC (sources at their DC values); tNow ≥ 0 evaluates
+// time-dependent sources at that instant (used by transient analysis).
+func (e *Engine) stampDC(x []float64, gmin, srcScale, tNow float64, j *linalg.Real, f []float64) {
+	j.Zero()
+	for i := range f {
+		f[i] = 0
+	}
+	// gmin from every node to ground keeps the Jacobian non-singular
+	// through continuation.
+	for i := 0; i < e.nNodes; i++ {
+		j.Add(i, i, gmin)
+		f[i] += gmin * x[i]
+	}
+
+	for _, el := range e.Ckt.Elements {
+		switch t := el.(type) {
+		case *circuit.Resistor:
+			a, b := e.unknownOf(t.A), e.unknownOf(t.B)
+			g := 1 / t.R
+			va, vb := voltsAt(x, a), voltsAt(x, b)
+			i := g * (va - vb)
+			if a >= 0 {
+				j.Add(a, a, g)
+				f[a] += i
+				if b >= 0 {
+					j.Add(a, b, -g)
+				}
+			}
+			if b >= 0 {
+				j.Add(b, b, g)
+				f[b] -= i
+				if a >= 0 {
+					j.Add(b, a, -g)
+				}
+			}
+
+		case *circuit.Capacitor:
+			// Open at DC.
+
+		case *circuit.ISource:
+			a, b := e.unknownOf(t.Pos), e.unknownOf(t.Neg)
+			val := t.DC
+			if tNow >= 0 {
+				val = t.Value(tNow)
+			}
+			cur := srcScale * val
+			if a >= 0 {
+				f[a] += cur
+			}
+			if b >= 0 {
+				f[b] -= cur
+			}
+
+		case *circuit.VSource:
+			br := e.branch[t.Name]
+			a, b := e.unknownOf(t.Pos), e.unknownOf(t.Neg)
+			// KCL: branch current leaves Pos, enters Neg.
+			if a >= 0 {
+				j.Add(a, br, 1)
+				f[a] += x[br]
+			}
+			if b >= 0 {
+				j.Add(b, br, -1)
+				f[b] -= x[br]
+			}
+			// Branch equation: V(pos) − V(neg) − E = 0.
+			if a >= 0 {
+				j.Add(br, a, 1)
+			}
+			if b >= 0 {
+				j.Add(br, b, -1)
+			}
+			val := t.DC
+			if tNow >= 0 {
+				val = t.Value(tNow)
+			}
+			f[br] += voltsAt(x, a) - voltsAt(x, b) - srcScale*val
+
+		case *circuit.VCVS:
+			br := e.branch[t.Name]
+			a, b := e.unknownOf(t.Pos), e.unknownOf(t.Neg)
+			ca, cb := e.unknownOf(t.CPos), e.unknownOf(t.CNeg)
+			if a >= 0 {
+				j.Add(a, br, 1)
+				f[a] += x[br]
+			}
+			if b >= 0 {
+				j.Add(b, br, -1)
+				f[b] -= x[br]
+			}
+			if a >= 0 {
+				j.Add(br, a, 1)
+			}
+			if b >= 0 {
+				j.Add(br, b, -1)
+			}
+			if ca >= 0 {
+				j.Add(br, ca, -t.Gain)
+			}
+			if cb >= 0 {
+				j.Add(br, cb, t.Gain)
+			}
+			f[br] += voltsAt(x, a) - voltsAt(x, b) - t.Gain*(voltsAt(x, ca)-voltsAt(x, cb))
+
+		case *circuit.MOSFET:
+			d, g, s, bk := e.unknownOf(t.D), e.unknownOf(t.G), e.unknownOf(t.S), e.unknownOf(t.B)
+			vd, vg, vs, vb := voltsAt(x, d), voltsAt(x, g), voltsAt(x, s), voltsAt(x, bk)
+			id, dd, dg, ds, db := mosPartials(t, vd, vg, vs, vb, e.Temp)
+			// Current id enters the drain node and leaves the source node.
+			terms := [4]struct {
+				u int
+				p float64
+			}{{d, dd}, {g, dg}, {s, ds}, {bk, db}}
+			if d >= 0 {
+				f[d] += id
+				for _, tm := range terms {
+					if tm.u >= 0 {
+						j.Add(d, tm.u, tm.p)
+					}
+				}
+			}
+			if s >= 0 {
+				f[s] -= id
+				for _, tm := range terms {
+					if tm.u >= 0 {
+						j.Add(s, tm.u, -tm.p)
+					}
+				}
+			}
+
+		default:
+			panic(fmt.Sprintf("sim: unsupported element %T", el))
+		}
+	}
+}
+
+// newtonSolve runs damped Newton at a fixed gmin/source scale.
+func (e *Engine) newtonSolve(x []float64, gmin, srcScale float64, opts *OPOptions) (int, error) {
+	return e.newtonSolveAt(x, gmin, srcScale, -1, nil, opts)
+}
+
+// newtonSolveAt optionally adds extra linear stamps (transient companions)
+// through the extra callback.
+func (e *Engine) newtonSolveAt(x []float64, gmin, srcScale, tNow float64, extra func(x []float64, j *linalg.Real, f []float64), opts *OPOptions) (int, error) {
+	j := linalg.NewReal(e.size)
+	f := make([]float64, e.size)
+	for iter := 1; iter <= opts.MaxIter; iter++ {
+		e.stampDC(x, gmin, srcScale, tNow, j, f)
+		if extra != nil {
+			extra(x, j, f)
+		}
+		lu, err := linalg.FactorReal(j)
+		if err != nil {
+			return iter, fmt.Errorf("sim: singular Jacobian at gmin=%.3g iter=%d: %w", gmin, iter, err)
+		}
+		for i := range f {
+			f[i] = -f[i]
+		}
+		dx := lu.Solve(f)
+		var maxDx float64
+		for i := range dx {
+			d := dx[i]
+			if d > opts.MaxStep {
+				d = opts.MaxStep
+			} else if d < -opts.MaxStep {
+				d = -opts.MaxStep
+			}
+			x[i] += d
+			if a := math.Abs(d); a > maxDx {
+				maxDx = a
+			}
+		}
+		if maxDx < opts.VTol {
+			return iter, nil
+		}
+	}
+	return opts.MaxIter, fmt.Errorf("sim: DC Newton did not converge (gmin=%.3g)", gmin)
+}
+
+// OP computes the DC operating point.
+func (e *Engine) OP(opts OPOptions) (*OPResult, error) {
+	opts.defaults()
+	x := make([]float64, e.size)
+	for name, v := range opts.NodeSet {
+		if i, ok := e.Ckt.NodeIndex(name); ok && i > 0 {
+			x[e.nodeUnknown(i)] = v
+		}
+	}
+
+	totalIter := 0
+	// Gmin continuation: sweep gmin down in decades, warm-starting each
+	// solve from the previous one.
+	converged := false
+	for gmin := opts.GminStart; ; gmin /= 10 {
+		if gmin < opts.GminEnd {
+			gmin = opts.GminEnd
+		}
+		it, err := e.newtonSolve(x, gmin, 1.0, &opts)
+		totalIter += it
+		if err != nil {
+			if gmin == opts.GminEnd {
+				// Fall back to source stepping from scratch.
+				return e.opSourceStepping(opts)
+			}
+			// Retry the failed rung after re-seeding below is pointless;
+			// tighten by moving to source stepping immediately.
+			return e.opSourceStepping(opts)
+		}
+		if gmin == opts.GminEnd {
+			converged = true
+			break
+		}
+	}
+	if !converged {
+		return nil, fmt.Errorf("sim: DC analysis failed")
+	}
+	e.polish(x, &opts, &totalIter)
+	return e.finishOP(x, totalIter), nil
+}
+
+// polish runs a final Newton pass with gmin removed entirely, so the
+// reported solution carries no continuation bias. Failure (a circuit that
+// genuinely needs gmin, e.g. a floating node) keeps the last good point.
+func (e *Engine) polish(x []float64, opts *OPOptions, totalIter *int) {
+	backup := make([]float64, len(x))
+	copy(backup, x)
+	it, err := e.newtonSolve(x, 0, 1.0, opts)
+	*totalIter += it
+	if err != nil {
+		copy(x, backup)
+	}
+}
+
+// opSourceStepping ramps all independent sources from 0 to full value.
+func (e *Engine) opSourceStepping(opts OPOptions) (*OPResult, error) {
+	x := make([]float64, e.size)
+	total := 0
+	for _, scale := range []float64{0.05, 0.1, 0.2, 0.3, 0.45, 0.6, 0.75, 0.9, 1.0} {
+		it, err := e.newtonSolve(x, 1e-9, scale, &opts)
+		total += it
+		if err != nil {
+			return nil, fmt.Errorf("sim: source stepping failed at scale %.2f: %w", scale, err)
+		}
+	}
+	e.polish(x, &opts, &total)
+	return e.finishOP(x, total), nil
+}
+
+// finishOP packages the solution vector.
+func (e *Engine) finishOP(x []float64, iters int) *OPResult {
+	r := &OPResult{
+		V:          make([]float64, e.Ckt.NumNodes()),
+		BranchI:    map[string]float64{},
+		MOSOPs:     map[string]device.OP{},
+		Iterations: iters,
+	}
+	for i := 1; i < e.Ckt.NumNodes(); i++ {
+		r.V[i] = x[e.nodeUnknown(i)]
+	}
+	for name, idx := range e.branch {
+		r.BranchI[name] = x[idx]
+	}
+	for _, m := range e.Ckt.MOSFETs() {
+		vd := r.V[mustIdx(e.Ckt, m.D)]
+		vg := r.V[mustIdx(e.Ckt, m.G)]
+		vs := r.V[mustIdx(e.Ckt, m.S)]
+		vb := r.V[mustIdx(e.Ckt, m.B)]
+		r.MOSOPs[m.Name] = m.Dev.Eval(vg, vd, vs, vb, e.Temp)
+	}
+	return r
+}
+
+func mustIdx(c *circuit.Circuit, node string) int {
+	i, ok := c.NodeIndex(node)
+	if !ok {
+		panic(fmt.Sprintf("sim: node %q vanished", node))
+	}
+	return i
+}
+
+// KCLResidual recomputes the DC residual vector norm at a solution — used
+// by tests to assert physical consistency of converged points.
+func (e *Engine) KCLResidual(r *OPResult) float64 {
+	x := make([]float64, e.size)
+	for i := 1; i < e.Ckt.NumNodes(); i++ {
+		x[e.nodeUnknown(i)] = r.V[i]
+	}
+	for name, idx := range e.branch {
+		x[idx] = r.BranchI[name]
+	}
+	j := linalg.NewReal(e.size)
+	f := make([]float64, e.size)
+	e.stampDC(x, 0, 1.0, -1, j, f)
+	var norm float64
+	for _, v := range f[:e.nNodes] { // node KCL rows only
+		norm = math.Max(norm, math.Abs(v))
+	}
+	return norm
+}

@@ -1,0 +1,391 @@
+package sim
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"loas/internal/circuit"
+	"loas/internal/device"
+	"loas/internal/techno"
+)
+
+const um = techno.Micron
+
+func TestOPResistorDivider(t *testing.T) {
+	c := circuit.New("divider")
+	c.Add(
+		&circuit.VSource{Name: "dd", Pos: "in", Neg: "0", DC: 3.0},
+		&circuit.Resistor{Name: "1", A: "in", B: "mid", R: 1e3},
+		&circuit.Resistor{Name: "2", A: "mid", B: "0", R: 2e3},
+	)
+	e := NewEngine(c, techno.TempNominal)
+	r, err := e.OP(OPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := r.Volt(c, "mid"); math.Abs(v-2.0) > 1e-9 {
+		t.Fatalf("V(mid) = %g, want 2", v)
+	}
+	if i := r.BranchI["dd"]; math.Abs(i+1e-3) > 1e-9 {
+		t.Fatalf("source current = %g, want −1 mA", i)
+	}
+	if res := e.KCLResidual(r); res > 1e-9 {
+		t.Fatalf("KCL residual %g", res)
+	}
+}
+
+func TestOPDiodeConnectedNMOS(t *testing.T) {
+	tech := techno.Default060()
+	c := circuit.New("diode")
+	m := &circuit.MOSFET{Name: "1", D: "d", G: "d", S: "0", B: "0",
+		Dev: device.MOS{Card: &tech.N, W: 20 * um, L: 1 * um}}
+	c.Add(
+		&circuit.ISource{Name: "b", Pos: "vdd", Neg: "d", DC: 50e-6},
+		&circuit.VSource{Name: "dd", Pos: "vdd", Neg: "0", DC: 3.3},
+		m,
+	)
+	e := NewEngine(c, techno.TempNominal)
+	r, err := e.OP(OPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := r.MOSOPs["1"]
+	if math.Abs(op.ID-50e-6)/50e-6 > 1e-4 {
+		t.Fatalf("diode current %g, want 50 µA", op.ID)
+	}
+	vgs := r.Volt(c, "d")
+	if vgs < tech.N.VT0 || vgs > tech.N.VT0+0.6 {
+		t.Fatalf("diode VGS = %g, implausible", vgs)
+	}
+	if res := e.KCLResidual(r); res > 1e-9 {
+		t.Fatalf("KCL residual %g", res)
+	}
+}
+
+func TestOPCurrentMirrorRatio(t *testing.T) {
+	tech := techno.Default060()
+	c := circuit.New("mirror")
+	mk := func(name string, w float64, d string) *circuit.MOSFET {
+		return &circuit.MOSFET{Name: name, D: d, G: "g", S: "0", B: "0",
+			Dev: device.MOS{Card: &tech.N, W: w, L: 2 * um}}
+	}
+	c.Add(
+		&circuit.VSource{Name: "dd", Pos: "vdd", Neg: "0", DC: 3.3},
+		&circuit.ISource{Name: "ref", Pos: "vdd", Neg: "g", DC: 20e-6},
+		mk("1", 10*um, "g"),
+		mk("2", 30*um, "out"),
+		&circuit.Resistor{Name: "l", A: "vdd", B: "out", R: 10e3},
+	)
+	e := NewEngine(c, techno.TempNominal)
+	r, err := e.OP(OPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	iOut := r.MOSOPs["2"].ID
+	// 3:1 mirror with mild CLM mismatch: within 15% of 60 µA.
+	if iOut < 55e-6 || iOut > 75e-6 {
+		t.Fatalf("mirror output %g, want ≈ 60 µA", iOut)
+	}
+}
+
+func TestOPPMOSCommonSource(t *testing.T) {
+	tech := techno.Default060()
+	c := circuit.New("pcs")
+	c.Add(
+		&circuit.VSource{Name: "dd", Pos: "vdd", Neg: "0", DC: 3.3},
+		&circuit.VSource{Name: "in", Pos: "g", Neg: "0", DC: 2.2},
+		&circuit.MOSFET{Name: "p", D: "out", G: "g", S: "vdd", B: "vdd",
+			Dev: device.MOS{Card: &tech.P, W: 40 * um, L: 1 * um}},
+		&circuit.Resistor{Name: "l", A: "out", B: "0", R: 20e3},
+	)
+	e := NewEngine(c, techno.TempNominal)
+	r, err := e.OP(OPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := r.MOSOPs["p"]
+	// |VGS| = 1.1 V > |VT0p| = 0.8 V → conducting; V(out) = −ID·(−RL)…
+	if op.ID >= 0 {
+		t.Fatalf("PMOS drain current should be negative (out of drain into node): %g", op.ID)
+	}
+	vout := r.Volt(c, "out")
+	if vout < 0.05 || vout > 3.3 {
+		t.Fatalf("V(out) = %g out of range", vout)
+	}
+	if want := -op.ID * 20e3; math.Abs(vout-want) > 1e-6 {
+		t.Fatalf("V(out) = %g inconsistent with ID·RL = %g", vout, want)
+	}
+}
+
+// fiveTransistorOTA builds the classic 5T OTA used to validate OP/AC/noise
+// against hand analysis.
+func fiveTransistorOTA(tech *techno.Tech) (*circuit.Circuit, map[string]float64) {
+	c := circuit.New("ota5t")
+	wIn, wMir, wTail := 60*um, 30*um, 40*um
+	l := 1 * um
+	geomN := device.OneFoldGeom(tech, wMir)
+	geomP := device.OneFoldGeom(tech, wIn)
+	c.Add(
+		&circuit.VSource{Name: "dd", Pos: "vdd", Neg: "0", DC: 3.3},
+		&circuit.VSource{Name: "inp", Pos: "vip", Neg: "0", DC: 1.6, ACMag: 0.5},
+		&circuit.VSource{Name: "inn", Pos: "vin", Neg: "0", DC: 1.6, ACMag: 0.5, ACPhase: 180},
+		&circuit.ISource{Name: "b", Pos: "vbn", Neg: "0", DC: 20e-6},
+		// Bias mirror for the tail.
+		&circuit.MOSFET{Name: "b1", D: "vbn", G: "vbn", S: "vdd", B: "vdd",
+			Dev: device.MOS{Card: &tech.P, W: wTail, L: l, Geom: device.OneFoldGeom(tech, wTail)}},
+		&circuit.MOSFET{Name: "t", D: "tail", G: "vbn", S: "vdd", B: "vdd",
+			Dev: device.MOS{Card: &tech.P, W: 2 * wTail, L: l, Geom: device.OneFoldGeom(tech, 2*wTail)}},
+		// Input pair (PMOS).
+		&circuit.MOSFET{Name: "1", D: "x", G: "vip", S: "tail", B: "vdd",
+			Dev: device.MOS{Card: &tech.P, W: wIn, L: l, Geom: geomP}},
+		&circuit.MOSFET{Name: "2", D: "out", G: "vin", S: "tail", B: "vdd",
+			Dev: device.MOS{Card: &tech.P, W: wIn, L: l, Geom: geomP}},
+		// NMOS mirror load.
+		&circuit.MOSFET{Name: "3", D: "x", G: "x", S: "0", B: "0",
+			Dev: device.MOS{Card: &tech.N, W: wMir, L: l, Geom: geomN}},
+		&circuit.MOSFET{Name: "4", D: "out", G: "x", S: "0", B: "0",
+			Dev: device.MOS{Card: &tech.N, W: wMir, L: l, Geom: geomN}},
+		&circuit.Capacitor{Name: "l", A: "out", B: "0", C: 2e-12},
+	)
+	seeds := map[string]float64{
+		"vdd": 3.3, "vbn": 2.3, "tail": 2.4, "x": 0.9, "out": 0.9,
+		"vip": 1.6, "vin": 1.6,
+	}
+	return c, seeds
+}
+
+func TestOP5TOTA(t *testing.T) {
+	tech := techno.Default060()
+	c, seeds := fiveTransistorOTA(tech)
+	e := NewEngine(c, techno.TempNominal)
+	r, err := e.OP(OPOptions{NodeSet: seeds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pair must split the tail current evenly (symmetric bias).
+	i1, i2 := r.MOSOPs["1"].ID, r.MOSOPs["2"].ID
+	if math.Abs(i1-i2) > 0.02*math.Abs(i1) {
+		t.Fatalf("pair imbalance: %g vs %g", i1, i2)
+	}
+	// All devices saturated.
+	for _, name := range []string{"1", "2", "3", "4", "t"} {
+		op := r.MOSOPs[name]
+		if op.Region != device.RegionSaturation {
+			t.Fatalf("M%s region = %v at VDS=%.3g, want saturation", name, op.Region, op.VDS)
+		}
+	}
+	if res := e.KCLResidual(r); res > 1e-8 {
+		t.Fatalf("KCL residual %g", res)
+	}
+}
+
+func TestAC5TOTAGainAndPole(t *testing.T) {
+	tech := techno.Default060()
+	c, seeds := fiveTransistorOTA(tech)
+	e := NewEngine(c, techno.TempNominal)
+	r, err := e.OP(OPOptions{NodeSet: seeds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand estimate: Av = gm1/(gds2+gds4).
+	gm := r.MOSOPs["1"].Gm
+	gds := r.MOSOPs["2"].Gds + r.MOSOPs["4"].Gds
+	want := gm / gds
+
+	acr, err := e.AC(r, []float64{10, 1e3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := cmplx.Abs(acr[0].Volt(c, "out"))
+	if math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("DC gain %g, hand analysis %g", got, want)
+	}
+	// Gain still flat at 1 kHz.
+	if g2 := cmplx.Abs(acr[1].Volt(c, "out")); math.Abs(g2-got)/got > 0.02 {
+		t.Fatalf("gain droop too early: %g vs %g", g2, got)
+	}
+
+	// −3 dB pole ≈ gds/(2π·CL); unity gain ≈ gm/(2π·CL).
+	fu := gm / (2 * math.Pi * 2e-12)
+	acu, err := e.AC(r, []float64{fu})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gu := cmplx.Abs(acu[0].Volt(c, "out"))
+	if gu < 0.5 || gu > 2 {
+		t.Fatalf("|H| at estimated unity frequency = %g, want ≈ 1", gu)
+	}
+}
+
+func TestACRCLowpass(t *testing.T) {
+	c := circuit.New("rc")
+	c.Add(
+		&circuit.VSource{Name: "in", Pos: "a", Neg: "0", DC: 0, ACMag: 1},
+		&circuit.Resistor{Name: "r", A: "a", B: "b", R: 1e3},
+		&circuit.Capacitor{Name: "c", A: "b", B: "0", C: 1e-9},
+	)
+	e := NewEngine(c, techno.TempNominal)
+	r, err := e.OP(OPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := 1 / (2 * math.Pi * 1e3 * 1e-9)
+	acr, err := e.AC(r, []float64{fc / 100, fc, fc * 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := cmplx.Abs(acr[0].Volt(c, "b")); math.Abs(g-1) > 1e-3 {
+		t.Fatalf("passband gain %g", g)
+	}
+	if g := cmplx.Abs(acr[1].Volt(c, "b")); math.Abs(g-1/math.Sqrt2) > 1e-3 {
+		t.Fatalf("gain at fc = %g, want 0.707", g)
+	}
+	ph := cmplx.Phase(acr[1].Volt(c, "b")) * 180 / math.Pi
+	if math.Abs(ph+45) > 0.5 {
+		t.Fatalf("phase at fc = %g°, want −45°", ph)
+	}
+	if g := cmplx.Abs(acr[2].Volt(c, "b")); math.Abs(g-0.01) > 2e-3 {
+		t.Fatalf("stopband gain %g, want ≈ 0.01", g)
+	}
+}
+
+func TestNoiseResistorMatchesTheory(t *testing.T) {
+	// Output noise of an RC lowpass: S = 4kTR/(1+(f/fc)²).
+	c := circuit.New("rcnoise")
+	c.Add(
+		&circuit.VSource{Name: "in", Pos: "a", Neg: "0", DC: 0},
+		&circuit.Resistor{Name: "r", A: "a", B: "b", R: 10e3},
+		&circuit.Capacitor{Name: "c", A: "b", B: "0", C: 1e-12},
+	)
+	e := NewEngine(c, techno.TempNominal)
+	r, err := e.OP(OPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := e.Noise(r, "b", []float64{100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 4 * techno.KBoltzmann * techno.TempNominal * 10e3
+	if got := pts[0].OutPSD; math.Abs(got-want)/want > 1e-3 {
+		t.Fatalf("noise PSD %g, want %g", got, want)
+	}
+}
+
+func TestNoiseKTOverC(t *testing.T) {
+	// Total integrated output noise of RC must be kT/C (independent of R).
+	c := circuit.New("ktc")
+	c.Add(
+		&circuit.VSource{Name: "in", Pos: "a", Neg: "0", DC: 0},
+		&circuit.Resistor{Name: "r", A: "a", B: "b", R: 1e3},
+		&circuit.Capacitor{Name: "c", A: "b", B: "0", C: 10e-12},
+	)
+	e := NewEngine(c, techno.TempNominal)
+	r, err := e.OP(OPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := 1 / (2 * math.Pi * 1e3 * 10e-12)
+	freqs := LogSpace(fc/1e4, fc*1e4, 400)
+	pts, err := e.Noise(r, "b", freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psd := make([]float64, len(pts))
+	for i, p := range pts {
+		psd[i] = p.OutPSD
+	}
+	vn := IntegratePSD(freqs, psd)
+	want := math.Sqrt(techno.KBoltzmann * techno.TempNominal / 10e-12)
+	if math.Abs(vn-want)/want > 0.02 {
+		t.Fatalf("integrated noise %g, want kT/C %g", vn, want)
+	}
+}
+
+func TestTranRCStep(t *testing.T) {
+	c := circuit.New("rcstep")
+	c.Add(
+		&circuit.VSource{Name: "in", Pos: "a", Neg: "0", DC: 0,
+			Pulse: &circuit.Pulse{V1: 0, V2: 1, Delay: 0, Rise: 1e-12, Width: 1}},
+		&circuit.Resistor{Name: "r", A: "a", B: "b", R: 1e3},
+		&circuit.Capacitor{Name: "c", A: "b", B: "0", C: 1e-9},
+	)
+	e := NewEngine(c, techno.TempNominal)
+	tau := 1e-6
+	res, err := e.Tran(5*tau, tau/100, OPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := res.Waveform(c, "b")
+	// Compare against the analytic exponential at t = tau.
+	idx := 100
+	want := 1 - math.Exp(-1)
+	if math.Abs(w[idx]-want) > 0.01 {
+		t.Fatalf("v(tau) = %g, want %g", w[idx], want)
+	}
+	if final := w[len(w)-1]; math.Abs(final-(1-math.Exp(-5))) > 0.01 {
+		t.Fatalf("v(5tau) = %g", final)
+	}
+}
+
+func TestTranPulseShape(t *testing.T) {
+	p := &circuit.Pulse{V1: 0, V2: 2, Delay: 1e-9, Rise: 1e-9, Width: 3e-9, Fall: 1e-9, Period: 10e-9}
+	cases := []struct{ t, v float64 }{
+		{0, 0}, {1e-9, 0}, {1.5e-9, 1}, {2e-9, 2}, {4e-9, 2}, {5.5e-9, 1}, {6.1e-9, 0},
+		{11.5e-9, 1}, // periodic repeat
+	}
+	for _, c := range cases {
+		if got := p.At(c.t); math.Abs(got-c.v) > 1e-9 {
+			t.Fatalf("pulse at %g = %g, want %g", c.t, got, c.v)
+		}
+	}
+}
+
+func TestVCVSIdealAmp(t *testing.T) {
+	c := circuit.New("vcvs")
+	c.Add(
+		&circuit.VSource{Name: "in", Pos: "a", Neg: "0", DC: 0.1},
+		&circuit.VCVS{Name: "e", Pos: "out", Neg: "0", CPos: "a", CNeg: "0", Gain: 10},
+		&circuit.Resistor{Name: "l", A: "out", B: "0", R: 1e3},
+	)
+	e := NewEngine(c, techno.TempNominal)
+	r, err := e.OP(OPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := r.Volt(c, "out"); math.Abs(v-1.0) > 1e-9 {
+		t.Fatalf("VCVS output %g, want 1.0", v)
+	}
+}
+
+func TestOPNoConvergenceReportsError(t *testing.T) {
+	// Two ideal voltage sources fighting on one node → singular system.
+	c := circuit.New("conflict")
+	c.Add(
+		&circuit.VSource{Name: "a", Pos: "x", Neg: "0", DC: 1},
+		&circuit.VSource{Name: "b", Pos: "x", Neg: "0", DC: 2},
+	)
+	e := NewEngine(c, techno.TempNominal)
+	if _, err := e.OP(OPOptions{}); err == nil {
+		t.Fatal("conflicting sources must not converge")
+	}
+}
+
+func TestEngineBranchIndexing(t *testing.T) {
+	c := circuit.New("idx")
+	c.Add(
+		&circuit.VSource{Name: "v1", Pos: "a", Neg: "0", DC: 1},
+		&circuit.Resistor{Name: "r", A: "a", B: "0", R: 1},
+	)
+	e := NewEngine(c, techno.TempNominal)
+	if e.Size() != 2 { // one node + one branch
+		t.Fatalf("size = %d, want 2", e.Size())
+	}
+	if _, ok := e.BranchIndex("v1"); !ok {
+		t.Fatal("v1 branch missing")
+	}
+	if _, ok := e.BranchIndex("nope"); ok {
+		t.Fatal("phantom branch")
+	}
+}

@@ -1,0 +1,209 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"loas/internal/circuit"
+	"loas/internal/linalg"
+)
+
+// TranResult is a fixed-step transient waveform set.
+type TranResult struct {
+	T []float64
+	// V[k] holds the node voltages at T[k], indexed by circuit node index.
+	V [][]float64
+}
+
+// Waveform extracts one node's waveform.
+func (r *TranResult) Waveform(ckt *circuit.Circuit, node string) []float64 {
+	i, ok := ckt.NodeIndex(node)
+	if !ok {
+		return nil
+	}
+	out := make([]float64, len(r.T))
+	for k := range r.T {
+		out[k] = r.V[k][i]
+	}
+	return out
+}
+
+// MaxSlope returns the maximum |dv/dt| of a node waveform (V/s) and the
+// time at which it occurs — the slew-rate measurement primitive.
+func (r *TranResult) MaxSlope(ckt *circuit.Circuit, node string) (slope, at float64) {
+	w := r.Waveform(ckt, node)
+	for k := 1; k < len(w); k++ {
+		dt := r.T[k] - r.T[k-1]
+		if dt <= 0 {
+			continue
+		}
+		s := math.Abs(w[k]-w[k-1]) / dt
+		if s > slope {
+			slope, at = s, r.T[k]
+		}
+	}
+	return slope, at
+}
+
+// SettleValue returns the final value of a node waveform.
+func (r *TranResult) SettleValue(ckt *circuit.Circuit, node string) float64 {
+	w := r.Waveform(ckt, node)
+	if len(w) == 0 {
+		return math.NaN()
+	}
+	return w[len(w)-1]
+}
+
+// capState tracks one companion-model capacitor across time steps.
+type capState struct {
+	a, b  int // unknown indices (−1 = ground)
+	c     float64
+	vPrev float64
+	iPrev float64
+}
+
+// Tran runs a fixed-step trapezoidal transient from 0 to tstop. The
+// initial condition is the static solution with time-dependent sources
+// evaluated at t = 0. MOS capacitances are re-evaluated at the start of
+// every step (piecewise-constant within a step), which is accurate enough
+// for slewing and settling measurements while keeping the Newton loop
+// linear in the capacitances.
+func (e *Engine) Tran(tstop, h float64, opts OPOptions) (*TranResult, error) {
+	if h <= 0 || tstop <= 0 {
+		return nil, fmt.Errorf("sim: transient needs positive tstop and step, got %g, %g", tstop, h)
+	}
+	opts.defaults()
+
+	// Static solution at t = 0 with gmin continuation.
+	x := make([]float64, e.size)
+	for name, v := range opts.NodeSet {
+		if i, ok := e.Ckt.NodeIndex(name); ok && i > 0 {
+			x[e.nodeUnknown(i)] = v
+		}
+	}
+	for gmin := opts.GminStart; ; gmin /= 10 {
+		if gmin < opts.GminEnd {
+			gmin = opts.GminEnd
+		}
+		if _, err := e.newtonSolveAt(x, gmin, 1.0, 0, nil, &opts); err != nil {
+			return nil, fmt.Errorf("sim: transient initial condition: %w", err)
+		}
+		if gmin == opts.GminEnd {
+			break
+		}
+	}
+
+	res := &TranResult{}
+	record := func(t float64) {
+		v := make([]float64, e.Ckt.NumNodes())
+		for i := 1; i < e.Ckt.NumNodes(); i++ {
+			v[i] = x[e.nodeUnknown(i)]
+		}
+		res.T = append(res.T, t)
+		res.V = append(res.V, v)
+	}
+	record(0)
+
+	// Companion capacitor states, refreshed per step for MOS caps.
+	caps := e.collectCaps(x)
+
+	nSteps := int(math.Ceil(tstop / h))
+	for k := 1; k <= nSteps; k++ {
+		t := float64(k) * h
+		// Refresh MOS capacitance values at the previous solution while
+		// keeping each state's accumulated charge history.
+		e.refreshMOSCaps(caps, x)
+		for i := range caps {
+			caps[i].vPrev = capVolt(x, &caps[i])
+		}
+
+		extra := func(xc []float64, j *linalg.Real, f []float64) {
+			for i := range caps {
+				cs := &caps[i]
+				geq := 2 * cs.c / h
+				ieq := geq*cs.vPrev + cs.iPrev
+				v := capVolt(xc, cs)
+				icap := geq*v - ieq
+				if cs.a >= 0 {
+					f[cs.a] += icap
+					j.Add(cs.a, cs.a, geq)
+					if cs.b >= 0 {
+						j.Add(cs.a, cs.b, -geq)
+					}
+				}
+				if cs.b >= 0 {
+					f[cs.b] -= icap
+					j.Add(cs.b, cs.b, geq)
+					if cs.a >= 0 {
+						j.Add(cs.b, cs.a, -geq)
+					}
+				}
+			}
+		}
+		if _, err := e.newtonSolveAt(x, opts.GminEnd, 1.0, t, extra, &opts); err != nil {
+			return nil, fmt.Errorf("sim: transient step %d (t=%.4g s): %w", k, t, err)
+		}
+		// Commit capacitor states.
+		for i := range caps {
+			cs := &caps[i]
+			geq := 2 * cs.c / h
+			v := capVolt(x, cs)
+			cs.iPrev = geq*v - (geq*cs.vPrev + cs.iPrev)
+		}
+		record(t)
+	}
+	return res, nil
+}
+
+func capVolt(x []float64, cs *capState) float64 {
+	return voltsAt(x, cs.a) - voltsAt(x, cs.b)
+}
+
+// collectCaps builds the companion-capacitor list: fixed capacitors first,
+// then five entries per MOSFET (CGS, CGD, CGB, CDB, CSB) whose values are
+// refreshed every step.
+func (e *Engine) collectCaps(x []float64) []capState {
+	var out []capState
+	for _, el := range e.Ckt.Elements {
+		switch t := el.(type) {
+		case *circuit.Capacitor:
+			cs := capState{a: e.unknownOf(t.A), b: e.unknownOf(t.B), c: t.C}
+			cs.vPrev = capVolt(x, &cs)
+			out = append(out, cs)
+		case *circuit.MOSFET:
+			d, g, s, b := e.unknownOf(t.D), e.unknownOf(t.G), e.unknownOf(t.S), e.unknownOf(t.B)
+			pairs := [5][2]int{{g, s}, {g, d}, {g, b}, {d, b}, {s, b}}
+			for _, p := range pairs {
+				cs := capState{a: p[0], b: p[1]}
+				cs.vPrev = capVolt(x, &cs)
+				out = append(out, cs)
+			}
+		}
+	}
+	e.refreshMOSCaps(out, x)
+	return out
+}
+
+// refreshMOSCaps re-evaluates the five MOS capacitances at the solution x.
+// The cap list layout must match collectCaps.
+func (e *Engine) refreshMOSCaps(caps []capState, x []float64) {
+	idx := 0
+	for _, el := range e.Ckt.Elements {
+		switch t := el.(type) {
+		case *circuit.Capacitor:
+			idx++
+		case *circuit.MOSFET:
+			vd := voltsAt(x, e.unknownOf(t.D))
+			vg := voltsAt(x, e.unknownOf(t.G))
+			vs := voltsAt(x, e.unknownOf(t.S))
+			vb := voltsAt(x, e.unknownOf(t.B))
+			op := t.Dev.Eval(vg, vd, vs, vb, e.Temp)
+			cset := t.Dev.Caps(op, e.Temp)
+			vals := [5]float64{cset.CGS, cset.CGD, cset.CGB, cset.CDB, cset.CSB}
+			for _, v := range vals {
+				caps[idx].c = v
+				idx++
+			}
+		}
+	}
+}

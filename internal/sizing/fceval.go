@@ -1,0 +1,158 @@
+package sizing
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"loas/internal/circuit"
+	"loas/internal/device"
+	"loas/internal/sim"
+	"loas/internal/techno"
+)
+
+// SignalNets lists the internal nets whose wiring capacitance matters to
+// the small-signal behaviour.
+func SignalNets() []string {
+	return []string{NetOut, NetFN1, NetFN2, NetMO1, NetN3, NetN4, NetTail, NetInP, NetInN}
+}
+
+// AssumedNetlist builds the amplifier netlist under the sizing-time
+// parasitic assumptions: junction geometries as the ParasiticState
+// resolved them (already baked into the device table) plus, when routing
+// awareness is on, the last layout report's wiring/coupling/well
+// capacitance lumped onto each signal net. This is the netlist whose
+// simulation gives the paper's unbracketed "synthesized" column.
+func (d *FoldedCascode) AssumedNetlist(name string) *circuit.Circuit {
+	ckt := d.Netlist(name)
+	if d.Par.Routing && d.Par.Report != nil {
+		for _, net := range SignalNets() {
+			if c := d.Par.wiringCap(net); c > 0 {
+				ckt.Add(&circuit.Capacitor{Name: "asm_" + net, A: net, B: circuit.Ground, C: c})
+			}
+		}
+	}
+	return ckt
+}
+
+// simulateGBWPM runs a small-signal evaluation of the current sizing
+// point: DC operating point, then an AC sweep to locate the unity-gain
+// frequency and phase margin. This replaces closed-form pole counting —
+// the design plan evaluates performance on the exact same engine and
+// models the verification uses, which is the paper's stated accuracy
+// recipe taken to its conclusion.
+func (p *plan) simulateGBWPM() (gbw, pm float64, err error) {
+	d := p.d
+	ckt := d.AssumedNetlist("sizing-eval")
+	vicm := 0.5 * (p.spec.ICMLow + p.spec.ICMHigh)
+	if vicm < 0.3 {
+		vicm = 0.3
+	}
+	ckt.Add(
+		&circuit.VSource{Name: "szp", Pos: NetInP, Neg: circuit.Ground, DC: vicm, ACMag: 0.5},
+		&circuit.VSource{Name: "szn", Pos: NetInN, Neg: circuit.Ground, DC: vicm, ACMag: 0.5, ACPhase: 180},
+		&circuit.Capacitor{Name: "szload", A: NetOut, B: circuit.Ground, C: p.spec.CL},
+	)
+	ns := d.NodeSet()
+	ns[NetInP], ns[NetInN] = vicm, vicm
+	return EvalGBWPM(p.tech, ckt, NetOut, ns)
+}
+
+// EvalGBWPM measures the unity-gain frequency and phase margin of a
+// prepared differential testbench circuit (AC drive and load already
+// attached). Shared by every design plan's evaluation step.
+func EvalGBWPM(tech *techno.Tech, ckt *circuit.Circuit, out string, nodeset map[string]float64) (gbw, pm float64, err error) {
+	eng := sim.NewEngine(ckt, tech.Temp)
+	op, err := eng.OP(sim.OPOptions{NodeSet: nodeset})
+	if err != nil {
+		return 0, 0, fmt.Errorf("sizing: evaluation OP: %w", err)
+	}
+
+	gainAt := func(f float64) (complex128, error) {
+		res, err := eng.AC(op, []float64{f})
+		if err != nil {
+			return 0, err
+		}
+		return res[0].Volt(ckt, out), nil
+	}
+	freqs := sim.LogSpace(1e6, 3e9, 40)
+	res, err := eng.AC(op, freqs)
+	if err != nil {
+		return 0, 0, err
+	}
+	var fLo, fHi float64
+	for i := 1; i < len(res); i++ {
+		if cmplx.Abs(res[i].Volt(ckt, out)) < 1 {
+			fLo, fHi = freqs[i-1], freqs[i]
+			break
+		}
+	}
+	if fHi == 0 {
+		return 0, 0, fmt.Errorf("sizing: no unity crossing below 3 GHz")
+	}
+	for i := 0; i < 25; i++ {
+		mid := math.Sqrt(fLo * fHi)
+		h, err := gainAt(mid)
+		if err != nil {
+			return 0, 0, err
+		}
+		if cmplx.Abs(h) >= 1 {
+			fLo = mid
+		} else {
+			fHi = mid
+		}
+	}
+	fu := math.Sqrt(fLo * fHi)
+	h, err := gainAt(fu)
+	if err != nil {
+		return 0, 0, err
+	}
+	phase := cmplx.Phase(h) * 180 / math.Pi
+	pm = 180 + phase
+	for pm > 180 {
+		pm -= 360
+	}
+	return fu, pm, nil
+}
+
+// BiasFor recomputes the four bias voltages on an alternate technology
+// (e.g. a process corner) for the same device sizes and node targets —
+// the role of an on-chip bias generator that tracks the process. Used by
+// the corner verification.
+func (d *FoldedCascode) BiasFor(tech *techno.Tech) (map[string]float64, error) {
+	out := map[string]float64{}
+	vdd := d.Spec.VDD
+
+	n5 := d.Devices[MN5]
+	mn5 := device.MOS{Card: &tech.N, W: n5.W, L: n5.L}
+	vgs, err := mn5.VGSForCurrent(n5.ID, d.NodeEst[NetFN1], 0, tech.Temp)
+	if err != nil {
+		return nil, fmt.Errorf("sizing: corner vbn: %w", err)
+	}
+	out[NetVBN] = vgs
+
+	c := d.Devices[MN1C]
+	mn1c := device.MOS{Card: &tech.N, W: c.W, L: c.L}
+	vgsC, err := mn1c.VGSForCurrent(c.ID, d.NodeEst[NetMO1]-d.NodeEst[NetFN1], c.VSB, tech.Temp)
+	if err != nil {
+		return nil, fmt.Errorf("sizing: corner vc1: %w", err)
+	}
+	out[NetVC1] = d.NodeEst[NetFN1] + vgsC
+
+	t := d.Devices[MP5]
+	mp5 := device.MOS{Card: &tech.P, W: t.W, L: t.L}
+	vgsT, err := mp5.VGSForCurrent(t.ID, vdd-d.NodeEst[NetTail], 0, tech.Temp)
+	if err != nil {
+		return nil, fmt.Errorf("sizing: corner vbp: %w", err)
+	}
+	out[NetVBP] = vdd - vgsT
+
+	pc := d.Devices[MP3C]
+	mp3c := device.MOS{Card: &tech.P, W: pc.W, L: pc.L}
+	vgsPC, err := mp3c.VGSForCurrent(pc.ID, d.NodeEst[NetN3]-d.NodeEst[NetMO1], pc.VSB, tech.Temp)
+	if err != nil {
+		return nil, fmt.Errorf("sizing: corner vc3: %w", err)
+	}
+	out[NetVC3] = d.NodeEst[NetN3] - vgsPC
+	return out, nil
+}

@@ -1,0 +1,183 @@
+package sizing
+
+import (
+	"loas/internal/circuit"
+	"loas/internal/device"
+	"loas/internal/layout/cairo"
+	"loas/internal/layout/route"
+	"loas/internal/layout/stack"
+	"loas/internal/techno"
+)
+
+// Netlist builds the sized OTA as a circuit: the eleven transistors of
+// Fig. 4, the supply and the four computed bias voltages. Input nets
+// (inp, inn) and the output are left for the testbench to drive/load.
+// Device junction geometries carry the sizing-time assumption; the
+// extractor overwrites them for the extracted netlist.
+func (d *FoldedCascode) Netlist(name string) *circuit.Circuit {
+	c := circuit.New(name)
+	tech := d.Tech
+	mos := func(inst, dn, g, s, b string) *circuit.MOSFET {
+		ds := d.Devices[inst]
+		card := &tech.N
+		if ds.Type == techno.PMOS {
+			card = &tech.P
+		}
+		return &circuit.MOSFET{
+			Name: inst, D: dn, G: g, S: s, B: b,
+			Dev: device.MOS{Card: card, W: ds.W, L: ds.L, Geom: ds.Geom},
+		}
+	}
+	c.Add(
+		&circuit.VSource{Name: "dd", Pos: NetVDD, Neg: NetGND, DC: d.Spec.VDD},
+		&circuit.VSource{Name: "bp", Pos: NetVBP, Neg: NetGND, DC: d.Bias[NetVBP]},
+		&circuit.VSource{Name: "bn", Pos: NetVBN, Neg: NetGND, DC: d.Bias[NetVBN]},
+		&circuit.VSource{Name: "c1", Pos: NetVC1, Neg: NetGND, DC: d.Bias[NetVC1]},
+		&circuit.VSource{Name: "c3", Pos: NetVC3, Neg: NetGND, DC: d.Bias[NetVC3]},
+
+		// Input pair in a source-tied well (bulk = tail).
+		mos(MP1, NetFN1, NetInP, NetTail, NetTail),
+		mos(MP2, NetFN2, NetInN, NetTail, NetTail),
+		mos(MP5, NetTail, NetVBP, NetVDD, NetVDD),
+
+		// Top PMOS cascode current mirror.
+		mos(MP3, NetN3, NetMO1, NetVDD, NetVDD),
+		mos(MP4, NetN4, NetMO1, NetVDD, NetVDD),
+		mos(MP3C, NetMO1, NetVC3, NetN3, NetVDD),
+		mos(MP4C, NetOut, NetVC3, NetN4, NetVDD),
+
+		// NMOS cascodes and bottom sinks.
+		mos(MN1C, NetMO1, NetVC1, NetFN1, NetGND),
+		mos(MN2C, NetOut, NetVC1, NetFN2, NetGND),
+		mos(MN5, NetFN1, NetVBN, NetGND, NetGND),
+		mos(MN6, NetFN2, NetVBN, NetGND, NetGND),
+	)
+	return c
+}
+
+// NodeSet returns DC seeds for the simulator from the design-time
+// estimates.
+func (d *FoldedCascode) NodeSet() map[string]float64 {
+	ns := map[string]float64{}
+	for k, v := range d.NodeEst {
+		ns[k] = v
+	}
+	ns[NetVBP] = d.Bias[NetVBP]
+	ns[NetVBN] = d.Bias[NetVBN]
+	ns[NetVC1] = d.Bias[NetVC1]
+	ns[NetVC3] = d.Bias[NetVC3]
+	return ns
+}
+
+// Layout builds the CAIRO design for the sized OTA: matched stacks for
+// the input pair, the top sources and the bottom sinks; single folded
+// transistors for the cascodes and the tail; slicing rows bottom-up
+// (sinks, N cascodes, P cascodes, sources, pair+tail); and the signal and
+// bias nets with their DC currents for reliability-driven routing.
+//
+// Frequency-critical drains (out, fold and mirror nodes) use the
+// drain-internal even-fold style of Fig. 2 case (a).
+func (d *FoldedCascode) Layout() *cairo.Design {
+	chan6 := int64(6 * 1000) // 6 µm routing channel, in nm
+
+	tr := func(inst, dn, g, s, b string, even bool) *cairo.Transistor {
+		ds := d.Devices[inst]
+		return &cairo.Transistor{
+			Inst: inst, Type: ds.Type, W: ds.W, L: ds.L,
+			Style:    device.DrainInternal,
+			DrainNet: dn, GateNet: g, SourceNet: s, BulkNet: b,
+			IDrain:   ds.ID,
+			MaxFolds: 10, EvenOnly: even,
+		}
+	}
+
+	pairUnits := 2
+	pair := &cairo.MatchedStack{
+		Label: "pair", Type: techno.PMOS,
+		Devices: []stack.Device{
+			{Name: MP1, Units: pairUnits, DrainNet: NetFN1, GateNet: NetInP},
+			{Name: MP2, Units: pairUnits, DrainNet: NetFN2, GateNet: NetInN},
+		},
+		SourceNet: NetTail, BulkNet: NetTail, WellNet: NetTail,
+		WidthPerBaseUnit: d.Devices[MP1].W / float64(pairUnits),
+		L:                d.Devices[MP1].L,
+		Currents: map[string]float64{
+			NetFN1: d.Devices[MP1].ID, NetFN2: d.Devices[MP2].ID,
+		},
+		EndDummies: true,
+		Splits:     []int{1, 2, 3},
+	}
+	pmir := &cairo.MatchedStack{
+		Label: "pmir", Type: techno.PMOS,
+		Devices: []stack.Device{
+			{Name: MP3, Units: 2, DrainNet: NetN3, GateNet: NetMO1},
+			{Name: MP4, Units: 2, DrainNet: NetN4, GateNet: NetMO1},
+		},
+		SourceNet: NetVDD, BulkNet: NetVDD,
+		WidthPerBaseUnit: d.Devices[MP3].W / 2,
+		L:                d.Devices[MP3].L,
+		Currents: map[string]float64{
+			NetN3: d.Devices[MP3].ID, NetN4: d.Devices[MP4].ID,
+		},
+		EndDummies: true,
+		Splits:     []int{1, 2, 3},
+	}
+	nsink := &cairo.MatchedStack{
+		Label: "nsink", Type: techno.NMOS,
+		Devices: []stack.Device{
+			{Name: MN5, Units: 2, DrainNet: NetFN1, GateNet: NetVBN},
+			{Name: MN6, Units: 2, DrainNet: NetFN2, GateNet: NetVBN},
+		},
+		SourceNet: "gnd", BulkNet: "gnd",
+		WidthPerBaseUnit: d.Devices[MN5].W / 2,
+		L:                d.Devices[MN5].L,
+		Currents: map[string]float64{
+			NetFN1: d.Devices[MN5].ID, NetFN2: d.Devices[MN6].ID,
+		},
+		EndDummies: true,
+		Splits:     []int{1, 2, 3},
+	}
+
+	des := &cairo.Design{
+		Name: "folded-cascode-ota",
+		Modules: []cairo.Module{
+			pair, pmir, nsink,
+			tr(MP5, NetTail, NetVBP, NetVDD, NetVDD, true),
+			tr(MP3C, NetMO1, NetVC3, NetN3, NetVDD, true),
+			tr(MP4C, NetOut, NetVC3, NetN4, NetVDD, true),
+			tr(MN1C, NetMO1, NetVC1, NetFN1, "gnd", true),
+			tr(MN2C, NetOut, NetVC1, NetFN2, "gnd", true),
+		},
+		Tree: &cairo.Tree{ // rows bottom-up, separated by routing channels
+			Vertical: false,
+			GapNM:    chan6,
+			Children: []*cairo.Tree{
+				{Vertical: true, GapNM: chan6, Leaves: []string{"nsink"}},
+				{Vertical: true, GapNM: chan6, Leaves: []string{MN1C, MN2C}},
+				{Vertical: true, GapNM: chan6, Leaves: []string{MP3C, MP4C}},
+				{Vertical: true, GapNM: chan6, Leaves: []string{"pmir"}},
+				{Vertical: true, GapNM: chan6, Leaves: []string{"pair", MP5}},
+			},
+		},
+		Nets: []route.Net{
+			{Name: NetFN1, Current: d.Devices[MN5].ID},
+			{Name: NetFN2, Current: d.Devices[MN6].ID},
+			{Name: NetMO1, Current: d.Icasc},
+			{Name: NetN3, Current: d.Icasc},
+			{Name: NetN4, Current: d.Icasc},
+			{Name: NetOut, Current: d.Icasc},
+			{Name: NetTail, Current: d.Itail},
+			{Name: NetInP}, {Name: NetInN},
+			{Name: NetVBP}, {Name: NetVBN}, {Name: NetVC1}, {Name: NetVC3},
+			{Name: NetVDD, Current: d.Itail + 2*d.Icasc},
+			{Name: "gnd", Current: d.Itail + 2*d.Icasc},
+		},
+	}
+	return des
+}
+
+// ACGroundNets lists the nets whose wiring capacitance lands on AC ground
+// (skipped when lumping parasitics onto the netlist).
+func ACGroundNets() []string {
+	return []string{NetVDD, "gnd", circuit.Ground, NetVBP, NetVBN, NetVC1, NetVC3}
+}

@@ -1,0 +1,245 @@
+package sizing
+
+import (
+	"fmt"
+	"math"
+
+	"loas/internal/circuit"
+	"loas/internal/device"
+	"loas/internal/layout/cairo"
+	"loas/internal/layout/route"
+	"loas/internal/layout/stack"
+	"loas/internal/techno"
+)
+
+// Five-transistor OTA device and net names (third topology).
+const (
+	MF1 = "MF1" // input pair, diode side (non-inverting input)
+	MF2 = "MF2" // input pair, output side
+	MF3 = "MF3" // mirror load, diode
+	MF4 = "MF4" // mirror load, output
+	MF5 = "MF5" // tail
+
+	NetFX = "fx" // mirror diode node
+)
+
+// FiveT is the classic single-stage five-transistor OTA — the smallest
+// entry in the topology library, useful as an SC-filter buffer or a bias
+// amplifier.
+type FiveT struct {
+	Tech *techno.Tech
+	Spec OTASpec
+	Par  ParasiticState
+
+	Devices   map[string]DeviceSize
+	Bias      map[string]float64
+	NodeEst   map[string]float64
+	Itail     float64
+	Predicted Performance
+}
+
+// SizeFiveT runs the single-stage plan: one transconductance, one pole —
+// the GBW target fixes gm1, the mirror pole is checked by simulation.
+func SizeFiveT(tech *techno.Tech, spec OTASpec, ps ParasiticState) (*FiveT, error) {
+	if err := tech.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.GBW <= 0 || spec.CL <= 0 || spec.VDD <= 0 {
+		return nil, fmt.Errorf("sizing: incomplete spec %+v", spec)
+	}
+	l := 1.0 * techno.Micron
+	veff1 := clamp(spec.VDD-spec.ICMHigh-0.2-tech.P.VT0-0.05, 0.12, 0.25)
+	veff3 := clamp(0.9*spec.OutLow, 0.15, 0.35)
+	vtl := 0.20
+
+	wmin := techno.NMToMeters(tech.Rules.ActiveWidth)
+	wmax := 20000 * techno.Micron
+	boost := 1.0
+	var d *FiveT
+
+	build := func() error {
+		gm1 := 2 * math.Pi * spec.GBW * spec.CL * boost
+		w1, err := device.SizeForGm(&tech.P, l, veff1, 0, gm1, tech.Temp, wmin, wmax)
+		if err != nil {
+			return fmt.Errorf("sizing: 5T input pair: %w", err)
+		}
+		m1 := device.MOS{Card: &tech.P, W: w1, L: l}
+		id1 := m1.IDSat(veff1, 0, tech.Temp)
+		itail := 2 * id1
+		w3, err := device.SizeForCurrent(&tech.N, l, veff3, 0, id1, tech.Temp, wmin, wmax)
+		if err != nil {
+			return fmt.Errorf("sizing: MF3: %w", err)
+		}
+		w5, err := device.SizeForCurrent(&tech.P, l, vtl, 0, itail, tech.Temp, wmin, wmax)
+		if err != nil {
+			return fmt.Errorf("sizing: MF5: %w", err)
+		}
+
+		d = &FiveT{
+			Tech: tech, Spec: spec, Par: ps,
+			Devices: map[string]DeviceSize{},
+			Bias:    map[string]float64{},
+			NodeEst: map[string]float64{},
+			Itail:   itail,
+		}
+		oneFold := func(w float64) device.DiffGeom { return device.OneFoldGeom(tech, w) }
+		add := func(name string, t techno.MOSType, w, veff, id float64) {
+			d.Devices[name] = DeviceSize{Type: t, W: w, L: l, Veff: veff, ID: id,
+				Geom: ps.deviceGeom(oneFold, name, w)}
+		}
+		add(MF1, techno.PMOS, w1, veff1, id1)
+		add(MF2, techno.PMOS, w1, veff1, id1)
+		add(MF3, techno.NMOS, w3, veff3, id1)
+		add(MF4, techno.NMOS, w3, veff3, id1)
+		add(MF5, techno.PMOS, w5, vtl, itail)
+
+		vcm := clamp(0.5*(spec.ICMLow+spec.ICMHigh), 0.3, spec.VDD)
+		mn3 := device.MOS{Card: &tech.N, W: w3, L: l}
+		vx, err := mn3.VGSForCurrent(id1, 0.9, 0, tech.Temp)
+		if err != nil {
+			return err
+		}
+		d.NodeEst[NetVDD] = spec.VDD
+		d.NodeEst[NetInP], d.NodeEst[NetInN] = vcm, vcm
+		d.NodeEst[NetTail] = vcm + tech.P.VT0 + veff1
+		d.NodeEst[NetFX] = vx
+		d.NodeEst[NetOut] = vx
+
+		mp5 := device.MOS{Card: &tech.P, W: w5, L: l}
+		vgs5, err := mp5.VGSForCurrent(itail, spec.VDD-d.NodeEst[NetTail], 0, tech.Temp)
+		if err != nil {
+			return err
+		}
+		d.Bias[NetVBP] = spec.VDD - vgs5
+		return nil
+	}
+
+	var gbw, pm float64
+	for iter := 0; iter < 12; iter++ {
+		if err := build(); err != nil {
+			return nil, err
+		}
+		ckt := d.Netlist("5t-eval")
+		vcm := d.NodeEst[NetInP]
+		ckt.Add(
+			&circuit.VSource{Name: "szp", Pos: NetInP, Neg: circuit.Ground, DC: vcm, ACMag: 0.5},
+			&circuit.VSource{Name: "szn", Pos: NetInN, Neg: circuit.Ground, DC: vcm, ACMag: 0.5, ACPhase: 180},
+			&circuit.Capacitor{Name: "szload", A: NetOut, B: circuit.Ground, C: spec.CL},
+		)
+		var err error
+		gbw, pm, err = EvalGBWPM(tech, ckt, NetOut, d.NodeSet())
+		if err != nil {
+			return nil, err
+		}
+		if gbw > 0.99*spec.GBW && gbw < 1.04*spec.GBW {
+			break
+		}
+		boost = clamp(boost*spec.GBW/gbw, 0.3, 5)
+	}
+	if gbw < 0.97*spec.GBW {
+		return nil, fmt.Errorf("sizing: 5T GBW %.2f MHz unreachable", gbw/1e6)
+	}
+	if pm < spec.PM {
+		return nil, fmt.Errorf("sizing: 5T phase margin %.1f° below target %.1f° "+
+			"(the mirror pole is fixed by the topology — relax GBW or PM)", pm, spec.PM)
+	}
+
+	d.Predicted.GBW = gbw
+	d.Predicted.PhaseDeg = pm
+	d.Predicted.Power = spec.VDD * d.Itail
+	d.Predicted.SlewRate = d.Itail / spec.CL
+	op1 := evalAt(tech, d.Devices[MF1])
+	op4 := evalAt(tech, d.Devices[MF4])
+	d.Predicted.DCGainDB = DB(op1.Gm / (op1.Gds + op4.Gds))
+	return d, nil
+}
+
+// Netlist builds the 5T OTA.
+func (d *FiveT) Netlist(name string) *circuit.Circuit {
+	c := circuit.New(name)
+	tech := d.Tech
+	mos := func(inst, dn, g, s, b string) *circuit.MOSFET {
+		ds := d.Devices[inst]
+		card := &tech.N
+		if ds.Type == techno.PMOS {
+			card = &tech.P
+		}
+		return &circuit.MOSFET{Name: inst, D: dn, G: g, S: s, B: b,
+			Dev: device.MOS{Card: card, W: ds.W, L: ds.L, Geom: ds.Geom}}
+	}
+	c.Add(
+		&circuit.VSource{Name: "dd", Pos: NetVDD, Neg: NetGND, DC: d.Spec.VDD},
+		&circuit.VSource{Name: "bp", Pos: NetVBP, Neg: NetGND, DC: d.Bias[NetVBP]},
+		mos(MF1, NetFX, NetInP, NetTail, NetVDD),
+		mos(MF2, NetOut, NetInN, NetTail, NetVDD),
+		mos(MF3, NetFX, NetFX, NetGND, NetGND),
+		mos(MF4, NetOut, NetFX, NetGND, NetGND),
+		mos(MF5, NetTail, NetVBP, NetVDD, NetVDD),
+	)
+	return c
+}
+
+// NodeSet seeds the simulator.
+func (d *FiveT) NodeSet() map[string]float64 {
+	ns := map[string]float64{}
+	for k, v := range d.NodeEst {
+		ns[k] = v
+	}
+	ns[NetVBP] = d.Bias[NetVBP]
+	return ns
+}
+
+// Layout builds the two matched stacks plus the tail.
+func (d *FiveT) Layout() *cairo.Design {
+	chanW := int64(6000)
+	pair := &cairo.MatchedStack{
+		Label: "fpair", Type: techno.PMOS,
+		Devices: []stack.Device{
+			{Name: MF1, Units: 2, DrainNet: NetFX, GateNet: NetInP},
+			{Name: MF2, Units: 2, DrainNet: NetOut, GateNet: NetInN},
+		},
+		SourceNet: NetTail, BulkNet: NetVDD,
+		WidthPerBaseUnit: d.Devices[MF1].W / 2,
+		L:                d.Devices[MF1].L,
+		Currents:         map[string]float64{NetFX: d.Devices[MF1].ID, NetOut: d.Devices[MF2].ID},
+		EndDummies:       true, Splits: []int{1, 2},
+	}
+	mir := &cairo.MatchedStack{
+		Label: "fmir", Type: techno.NMOS,
+		Devices: []stack.Device{
+			{Name: MF3, Units: 2, DrainNet: NetFX, GateNet: NetFX},
+			{Name: MF4, Units: 2, DrainNet: NetOut, GateNet: NetFX},
+		},
+		SourceNet: "gnd", BulkNet: "gnd",
+		WidthPerBaseUnit: d.Devices[MF3].W / 2,
+		L:                d.Devices[MF3].L,
+		Currents:         map[string]float64{NetFX: d.Devices[MF3].ID, NetOut: d.Devices[MF4].ID},
+		EndDummies:       true, Splits: []int{1, 2},
+	}
+	tail := &cairo.Transistor{
+		Inst: MF5, Type: techno.PMOS,
+		W: d.Devices[MF5].W, L: d.Devices[MF5].L,
+		Style:    device.DrainInternal,
+		DrainNet: NetTail, GateNet: NetVBP, SourceNet: NetVDD, BulkNet: NetVDD,
+		IDrain:   d.Itail, MaxFolds: 8, EvenOnly: true,
+	}
+	return &cairo.Design{
+		Name:    "five-transistor-ota",
+		Modules: []cairo.Module{pair, mir, tail},
+		Tree: &cairo.Tree{
+			Vertical: false, GapNM: chanW,
+			Children: []*cairo.Tree{
+				{Vertical: true, GapNM: chanW, Leaves: []string{"fmir"}},
+				{Vertical: true, GapNM: chanW, Leaves: []string{"fpair", MF5}},
+			},
+		},
+		Nets: []route.Net{
+			{Name: NetFX, Current: d.Devices[MF1].ID},
+			{Name: NetOut, Current: d.Devices[MF2].ID},
+			{Name: NetTail, Current: d.Itail},
+			{Name: NetInP}, {Name: NetInN}, {Name: NetVBP},
+			{Name: NetVDD, Current: d.Itail},
+			{Name: "gnd", Current: d.Itail},
+		},
+	}
+}

@@ -1,0 +1,154 @@
+package techno
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestDefault060Valid(t *testing.T) {
+	tech := Default060()
+	if err := tech.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefault060Plausibility(t *testing.T) {
+	tech := Default060()
+	// Cox from 12 nm oxide ≈ 2.88 fF/µm².
+	if tech.N.Cox < 2.5e-3 || tech.N.Cox > 3.2e-3 {
+		t.Fatalf("Cox = %g F/m² implausible for 0.6 µm", tech.N.Cox)
+	}
+	if tech.N.KP <= tech.P.KP {
+		t.Fatal("electron mobility should beat holes")
+	}
+	if tech.P.KF >= tech.N.KF {
+		t.Fatal("buried-channel PMOS should have less flicker noise")
+	}
+	if tech.Feature != 0.6*Micron {
+		t.Fatalf("feature = %g", tech.Feature)
+	}
+}
+
+func TestThermalVoltage(t *testing.T) {
+	vt := ThermalVoltage(TempNominal)
+	if math.Abs(vt-0.02585) > 3e-4 {
+		t.Fatalf("kT/q at 300 K = %g, want ≈ 25.9 mV", vt)
+	}
+}
+
+func TestVTSign(t *testing.T) {
+	tech := Default060()
+	if tech.N.VTSign() != 1 || tech.P.VTSign() != -1 {
+		t.Fatal("device-type signs wrong")
+	}
+}
+
+func TestCard(t *testing.T) {
+	tech := Default060()
+	if tech.Card(NMOS) != &tech.N || tech.Card(PMOS) != &tech.P {
+		t.Fatal("Card returned wrong pointers")
+	}
+}
+
+func TestSnapNM(t *testing.T) {
+	r := &Rules{Grid: 50}
+	cases := []struct{ in, up, down int64 }{
+		{0, 0, 0},
+		{1, 50, 0},
+		{49, 50, 0},
+		{50, 50, 50},
+		{51, 100, 50},
+		{-1, -50, 0},
+		{-51, -100, -50},
+	}
+	for _, c := range cases {
+		if got := r.SnapNM(c.in); got != c.up {
+			t.Errorf("SnapNM(%d) = %d, want %d", c.in, got, c.up)
+		}
+		if got := r.SnapDownNM(c.in); got != c.down {
+			t.Errorf("SnapDownNM(%d) = %d, want %d", c.in, got, c.down)
+		}
+	}
+	// Degenerate grid: passthrough.
+	r1 := &Rules{Grid: 1}
+	if r1.SnapNM(37) != 37 {
+		t.Fatal("grid 1 should not snap")
+	}
+}
+
+func TestUnitConversions(t *testing.T) {
+	if MetersToNM(1.5*Micron) != 1500 {
+		t.Fatalf("1.5 µm = %d nm", MetersToNM(1.5*Micron))
+	}
+	if NMToMeters(1500) != 1.5e-6 {
+		t.Fatalf("1500 nm = %g m", NMToMeters(1500))
+	}
+}
+
+func TestLayerNames(t *testing.T) {
+	for l := Layer(0); l < NumLayers; l++ {
+		if strings.HasPrefix(l.String(), "layer(") {
+			t.Fatalf("layer %d has no name", int(l))
+		}
+	}
+	if !strings.HasPrefix(Layer(99).String(), "layer(") {
+		t.Fatal("out-of-range layer should fall back")
+	}
+	if NMOS.String() != "nmos" || PMOS.String() != "pmos" {
+		t.Fatal("MOSType names wrong")
+	}
+}
+
+func TestValidateCatchesBrokenCards(t *testing.T) {
+	breakers := []func(*Tech){
+		func(x *Tech) { x.N.VT0 = -1 },
+		func(x *Tech) { x.P.KP = 0 },
+		func(x *Tech) { x.N.Cox = 0 },
+		func(x *Tech) { x.P.PB = 0 },
+		func(x *Tech) { x.N.VAL = 0 },
+		func(x *Tech) { x.Rules.Grid = 0 },
+		func(x *Tech) { x.Wire.JMax = 0 },
+		func(x *Tech) { x.Feature = 0 },
+	}
+	for i, brk := range breakers {
+		tech := Default060()
+		brk(tech)
+		if err := tech.Validate(); err == nil {
+			t.Fatalf("breaker %d not caught", i)
+		}
+	}
+}
+
+func TestCorners(t *testing.T) {
+	tech := Default060()
+	ss, err := tech.AtCorner(CornerSS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff, err := tech.AtCorner(CornerFF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.N.VT0 <= tech.N.VT0 || ss.N.KP >= tech.N.KP {
+		t.Fatal("SS corner should be slower")
+	}
+	if ff.N.VT0 >= tech.N.VT0 || ff.N.KP <= tech.N.KP {
+		t.Fatal("FF corner should be faster")
+	}
+	sf, _ := tech.AtCorner(CornerSF)
+	if sf.N.KP >= tech.N.KP || sf.P.KP <= tech.P.KP {
+		t.Fatal("SF corner mixes wrong")
+	}
+	tt, _ := tech.AtCorner(CornerTT)
+	if tt.N.VT0 != tech.N.VT0 {
+		t.Fatal("TT must be nominal")
+	}
+	if _, err := tech.AtCorner("zz"); err == nil {
+		t.Fatal("unknown corner accepted")
+	}
+	// The original card must be untouched.
+	if tech.N.VT0 != 0.75 {
+		t.Fatal("AtCorner mutated the base technology")
+	}
+}
