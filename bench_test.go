@@ -10,6 +10,10 @@
 //	Fig. 5  → BenchmarkFig5Layout (area_um2)
 //	Fig. 1  → BenchmarkFlowProposed / BenchmarkFlowTraditional
 //	§6      → BenchmarkSCIntegrator
+//
+// Serial/parallel pairs (identical results, sec/op ratio = speedup):
+// BenchmarkTable1AllCasesSerial vs BenchmarkTable1AllCases and
+// BenchmarkMonteCarloOffset vs BenchmarkMonteCarloOffsetParallel.
 package loas
 
 import (
@@ -74,6 +78,41 @@ func BenchmarkTable1Case1(b *testing.B) { benchTable1Case(b, 1) }
 func BenchmarkTable1Case2(b *testing.B) { benchTable1Case(b, 2) }
 func BenchmarkTable1Case3(b *testing.B) { benchTable1Case(b, 3) }
 func BenchmarkTable1Case4(b *testing.B) { benchTable1Case(b, 4) }
+
+// BenchmarkTable1AllCasesSerial / BenchmarkTable1AllCases are the
+// serial/parallel pair for the whole four-case experiment: same work,
+// same results (TestSynthesizeAllMatchesSerial), sec/op is the speedup.
+func BenchmarkTable1AllCasesSerial(b *testing.B) {
+	tech := techno.Default060()
+	spec := sizing.Default65MHz()
+	var res *core.Result
+	for i := 0; i < b.N; i++ {
+		for c := 1; c <= core.NumTable1Cases; c++ {
+			r, err := core.Synthesize(tech, spec, core.Options{Case: c})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if c == core.NumTable1Cases {
+				res = r
+			}
+		}
+	}
+	b.ReportMetric(res.Extracted.GBW/1e6, "case4_xgbw_MHz")
+}
+
+func BenchmarkTable1AllCases(b *testing.B) {
+	tech := techno.Default060()
+	spec := sizing.Default65MHz()
+	var all []*core.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		all, err = core.SynthesizeAll(tech, spec, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(all[3].Extracted.GBW/1e6, "case4_xgbw_MHz")
+}
 
 func BenchmarkFig5Layout(b *testing.B) {
 	tech := techno.Default060()
@@ -233,9 +272,9 @@ func BenchmarkTwoStageSizing(b *testing.B) {
 	b.ReportMetric(d.CC*1e12, "cc_pF")
 }
 
-// BenchmarkMonteCarloOffset measures the statistical verification
-// interface (8 mismatch samples with full DC nulling each).
-func BenchmarkMonteCarloOffset(b *testing.B) {
+// benchMonteCarloOffset measures the statistical verification interface
+// (8 mismatch samples with full DC nulling each) at a given worker count.
+func benchMonteCarloOffset(b *testing.B, workers int) {
 	tech := techno.Default060()
 	spec := sizing.Default65MHz()
 	ps, _ := sizing.Case(1)
@@ -252,6 +291,7 @@ func BenchmarkMonteCarloOffset(b *testing.B) {
 		VoutMid: 1.41,
 		Temp:    tech.Temp,
 		NodeSet: d.NodeSet(),
+		Workers: workers,
 	}
 	var stats *mc.OffsetStats
 	for i := 0; i < b.N; i++ {
@@ -261,4 +301,30 @@ func BenchmarkMonteCarloOffset(b *testing.B) {
 		}
 	}
 	b.ReportMetric(stats.SigmaV*1e3, "sigma_mV")
+}
+
+// Serial/parallel pair; identical sigma_mV by construction (the samples
+// draw from seed-split streams, see TestRunOffsetWorkerInvariance).
+func BenchmarkMonteCarloOffset(b *testing.B)         { benchMonteCarloOffset(b, 1) }
+func BenchmarkMonteCarloOffsetParallel(b *testing.B) { benchMonteCarloOffset(b, 0) }
+
+// BenchmarkCornerSweep times the five-corner verification, which also
+// runs on the worker pool.
+func BenchmarkCornerSweep(b *testing.B) {
+	tech := techno.Default060()
+	spec := sizing.Default65MHz()
+	res, err := core.Synthesize(tech, spec, core.Options{Case: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var corners map[techno.Corner]sizing.Performance
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		corners, err = core.CornerSweep(tech, res)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(corners[techno.CornerSS].GBW/1e6, "ss_gbw_MHz")
+	b.ReportMetric(corners[techno.CornerFF].GBW/1e6, "ff_gbw_MHz")
 }

@@ -1,0 +1,10 @@
+#!/bin/sh
+# CI gate for the repository. The -race run is mandatory: the parallel
+# synthesis engine (internal/parallel and its users in mc, core, repro)
+# is only shippable while the race detector, the worker-invariance tests
+# and the shared-tech concurrency tests all pass.
+set -eux
+
+go vet ./...
+go build ./...
+go test -race ./...

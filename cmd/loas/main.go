@@ -89,6 +89,7 @@ func runMC(tech *techno.Tech, spec sizing.OTASpec, args []string) error {
 	fs := flag.NewFlagSet("mc", flag.ExitOnError)
 	n := fs.Int("n", 25, "number of Monte-Carlo samples")
 	seed := fs.Int64("seed", 1, "random seed")
+	workers := fs.Int("workers", 0, "worker goroutines (0 = all CPUs, 1 = serial; same statistics either way)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -106,6 +107,7 @@ func runMC(tech *techno.Tech, spec sizing.OTASpec, args []string) error {
 		VoutMid: 0.5 * (spec.OutLow + spec.OutHigh),
 		Temp:    tech.Temp,
 		NodeSet: d.NodeSet(),
+		Workers: *workers,
 	}
 	stats, err := mc.RunOffset(cfg, *n, *seed)
 	if err != nil {

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"loas/internal/layout/extract"
 	"loas/internal/sizing"
@@ -17,25 +19,117 @@ var (
 	runErr  error
 )
 
-// allCases synthesizes the four Table-1 cases once for the whole package.
+// allCases synthesizes the four Table-1 cases once for the whole package,
+// through the concurrent driver — so every assertion below also vouches
+// for the parallel path.
 func allCases(t *testing.T) [5]*Result {
 	t.Helper()
 	runOnce.Do(func() {
 		tech := techno.Default060()
 		spec := sizing.Default65MHz()
-		for c := 1; c <= 4; c++ {
-			res, err := Synthesize(tech, spec, Options{Case: c})
-			if err != nil {
-				runErr = err
-				return
-			}
-			results[c] = res
+		all, err := SynthesizeAll(tech, spec, Options{})
+		if err != nil {
+			runErr = err
+			return
+		}
+		for i, res := range all {
+			results[i+1] = res
 		}
 	})
 	if runErr != nil {
 		t.Fatal(runErr)
 	}
 	return results
+}
+
+// table1Rows renders a result the way Table 1 prints it — everything a
+// user of the experiment sees, minus wall-clock.
+func table1Rows(res *Result) string {
+	var b strings.Builder
+	for _, name := range sizing.RowNames() {
+		b.WriteString(res.Synthesized.Row(name, res.Extracted) + "\n")
+	}
+	fmt.Fprintf(&b, "layout calls %d, sizing passes %d\n", res.LayoutCalls, res.SizingPasses)
+	return b.String()
+}
+
+// TestSynthesizeAllMatchesSerial is the determinism gate for the
+// parallel engine: the concurrent four-case run must produce
+// byte-identical Table-1 rows to four serial Synthesize calls.
+func TestSynthesizeAllMatchesSerial(t *testing.T) {
+	parallelRes := allCases(t)
+	tech := techno.Default060()
+	spec := sizing.Default65MHz()
+	for c := 1; c <= 4; c++ {
+		serial, err := Synthesize(tech, spec, Options{Case: c})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, got := table1Rows(serial), table1Rows(parallelRes[c])
+		if want != got {
+			t.Fatalf("case %d diverged between serial and concurrent runs:\nserial:\n%s\nconcurrent:\n%s",
+				c, want, got)
+		}
+	}
+}
+
+// TestConcurrentSynthesisSharedTech is the tech-card-immutability
+// contract: two synthesis runs sharing one *techno.Tech from concurrent
+// goroutines must not interfere. Any hidden mutation of the shared cards
+// either trips the race detector or diverges the rendered rows.
+func TestConcurrentSynthesisSharedTech(t *testing.T) {
+	tech := techno.Default060()
+	spec := sizing.Default65MHz()
+	rows := make([]string, 2)
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			res, err := Synthesize(tech, spec, Options{Case: 2})
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			rows[g] = table1Rows(res)
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+	if rows[0] != rows[1] {
+		t.Fatalf("concurrent runs over one shared Tech disagree:\n%s\nvs\n%s", rows[0], rows[1])
+	}
+}
+
+// TestCompareFlowsMatchesComponents: the side-by-side comparison returns
+// the same designs the individual flows produce.
+func TestCompareFlowsMatchesComponents(t *testing.T) {
+	tech := techno.Default060()
+	spec := sizing.Default65MHz()
+	fc, err := CompareFlows(tech, spec, 10, Options{}.Shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc.TraditionalErr != nil {
+		t.Fatalf("traditional flow should meet spec here: %v", fc.TraditionalErr)
+	}
+	want := table1Rows(allCases(t)[4])
+	if got := table1Rows(fc.Proposed); got != want {
+		t.Fatalf("proposed flow diverged from a standalone case-4 run:\n%s\nvs\n%s", got, want)
+	}
+	if fc.Traditional.Iterations < 2 {
+		t.Fatalf("traditional baseline converged in %d iteration(s)", fc.Traditional.Iterations)
+	}
+	// Concurrent execution: total wall-clock below the sum of the parts.
+	sum := fc.Proposed.Elapsed + fc.Traditional.Elapsed
+	if fc.Elapsed > sum+time.Second {
+		t.Fatalf("comparison wall-clock %s exceeds the serial sum %s", fc.Elapsed, sum)
+	}
 }
 
 func TestCase4MatchesExtraction(t *testing.T) {

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"loas/internal/circuit"
 	"loas/internal/meas"
+	"loas/internal/parallel"
 	"loas/internal/sizing"
 	"loas/internal/techno"
 )
@@ -52,16 +54,27 @@ func VerifyAtCorner(tech *techno.Tech, corner techno.Corner, res *Result) (*sizi
 	return &rep.Perf, nil
 }
 
-// CornerSweep verifies the design at all five corners.
+// CornerSweep verifies the design at all five corners concurrently. Each
+// corner gets a deep tech copy (AtCorner) and builds its own circuits, so
+// the only shared state is the read-only design, parasitic report and
+// nominal technology.
 func CornerSweep(tech *techno.Tech, res *Result) (map[techno.Corner]sizing.Performance, error) {
+	corners := []techno.Corner{techno.CornerTT, techno.CornerSS,
+		techno.CornerFF, techno.CornerSF, techno.CornerFS}
+	perfs, err := parallel.Map(context.Background(), 0, corners,
+		func(_ context.Context, _ int, c techno.Corner) (sizing.Performance, error) {
+			p, err := VerifyAtCorner(tech, c, res)
+			if err != nil {
+				return sizing.Performance{}, err
+			}
+			return *p, nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	out := map[techno.Corner]sizing.Performance{}
-	for _, c := range []techno.Corner{techno.CornerTT, techno.CornerSS,
-		techno.CornerFF, techno.CornerSF, techno.CornerFS} {
-		p, err := VerifyAtCorner(tech, c, res)
-		if err != nil {
-			return nil, err
-		}
-		out[c] = *p
+	for i, c := range corners {
+		out[c] = perfs[i]
 	}
 	return out, nil
 }

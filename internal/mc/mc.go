@@ -13,12 +13,14 @@
 package mc
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 
 	"loas/internal/circuit"
 	"loas/internal/layout/stack"
+	"loas/internal/parallel"
 	"loas/internal/sim"
 	"loas/internal/techno"
 )
@@ -75,6 +77,10 @@ type OffsetConfig struct {
 	NodeSet       map[string]float64
 	// SearchMV bounds the offset search (default ±25 mV).
 	SearchMV float64
+	// Workers bounds the Monte-Carlo parallelism: samples are fanned out
+	// across this many goroutines (0 = GOMAXPROCS, 1 = serial). The
+	// statistics are identical for any value — see RunOffset.
+	Workers int
 }
 
 // SimulateOffset nulls the output by bisection on the differential input
@@ -139,24 +145,58 @@ type OffsetStats struct {
 	Failures   int // samples whose offset escaped the search window
 }
 
-// RunOffset draws n samples and returns the offset statistics. The run is
-// deterministic for a given seed.
+// sampleSeed derives the i-th sample's RNG seed from the run seed with a
+// SplitMix64 step. Every sample owns an independent deterministic random
+// stream, so the draw does not depend on which worker executes it or on
+// how many workers exist.
+func sampleSeed(seed int64, i int) int64 {
+	z := uint64(seed) + uint64(i+1)*0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e9b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// RunOffset draws n samples and returns the offset statistics, fanning
+// the samples across cfg.Workers goroutines. The run is deterministic
+// for a given seed and bit-identical for any worker count or GOMAXPROCS:
+// each sample draws from its own seed-split random stream (sampleSeed)
+// and the statistics are reduced serially in sample order.
 func RunOffset(cfg OffsetConfig, n int, seed int64) (*OffsetStats, error) {
-	rng := rand.New(rand.NewSource(seed))
+	type sample struct {
+		off float64
+		ok  bool
+	}
+	// A failed offset search (outside the window, no DC convergence) is a
+	// per-sample outcome counted by the reducer, never a pool error — so
+	// the only errors MapN can surface here are worker panics.
+	outs, err := parallel.MapN(context.Background(), cfg.Workers, n,
+		func(_ context.Context, i int) (sample, error) {
+			base := cfg.Build()
+			s := Draw(rand.New(rand.NewSource(sampleSeed(seed, i))), base)
+			off, err := SimulateOffset(cfg, s)
+			if err != nil {
+				return sample{}, nil
+			}
+			return sample{off: off, ok: true}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
 	stats := &OffsetStats{}
 	var sum, sum2 float64
-	for i := 0; i < n; i++ {
-		base := cfg.Build()
-		s := Draw(rng, base)
-		off, err := SimulateOffset(cfg, s)
-		if err != nil {
+	for _, o := range outs {
+		if !o.ok {
 			stats.Failures++
 			continue
 		}
 		stats.N++
-		sum += off
-		sum2 += off * off
-		if a := math.Abs(off); a > stats.WorstAbsV {
+		sum += o.off
+		sum2 += o.off * o.off
+		if a := math.Abs(o.off); a > stats.WorstAbsV {
 			stats.WorstAbsV = a
 		}
 	}

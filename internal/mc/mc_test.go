@@ -3,6 +3,7 @@ package mc
 import (
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"loas/internal/circuit"
@@ -124,6 +125,56 @@ func TestRunOffsetDeterministic(t *testing.T) {
 	}
 	if a.SigmaV != b.SigmaV || a.MeanV != b.MeanV {
 		t.Fatal("same seed must reproduce the same statistics")
+	}
+}
+
+// TestRunOffsetWorkerInvariance pins the parallel-engine contract: the
+// same seed yields bit-identical OffsetStats no matter how many workers
+// execute the samples, because each sample owns a seed-split random
+// stream and the reduction runs in sample order.
+func TestRunOffsetWorkerInvariance(t *testing.T) {
+	cfg := fcConfig(t)
+	cfg.Workers = 1
+	ref, err := RunOffset(cfg, 6, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{4, runtime.NumCPU()} {
+		cfg.Workers = w
+		got, err := RunOffset(cfg, 6, 7)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if *got != *ref {
+			t.Fatalf("workers=%d changed the statistics:\n  serial   %+v\n  parallel %+v",
+				w, *ref, *got)
+		}
+	}
+}
+
+// TestSampleSeedStreamsIndependent: adjacent samples must not share a
+// stream (the classic seed+i mistake correlates draws).
+func TestSampleSeedStreamsIndependent(t *testing.T) {
+	seen := map[int64]int{}
+	for seed := int64(0); seed < 4; seed++ {
+		for i := 0; i < 1000; i++ {
+			s := sampleSeed(seed, i)
+			if j, dup := seen[s]; dup {
+				t.Fatalf("seed collision between streams %d and %d", j, i)
+			}
+			seen[s] = i
+		}
+	}
+	// First draws of consecutive streams should look uncorrelated.
+	var dot, n float64
+	for i := 0; i < 500; i++ {
+		a := rand.New(rand.NewSource(sampleSeed(1, i))).NormFloat64()
+		b := rand.New(rand.NewSource(sampleSeed(1, i+1))).NormFloat64()
+		dot += a * b
+		n++
+	}
+	if r := dot / n; math.Abs(r) > 0.15 {
+		t.Fatalf("consecutive streams correlate: r = %.3f", r)
 	}
 }
 

@@ -1,0 +1,172 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapNOrderAndResults(t *testing.T) {
+	got, err := MapN(context.Background(), 8, 100, func(_ context.Context, i int) (int, error) {
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("want 100 results, got %d", len(got))
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("result %d = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapKeepsItemOrder(t *testing.T) {
+	items := []string{"a", "bb", "ccc", "dddd"}
+	got, err := Map(context.Background(), 2, items, func(_ context.Context, i int, s string) (int, error) {
+		time.Sleep(time.Duration(len(items)-i) * time.Millisecond) // finish out of order
+		return len(s), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i+1 {
+			t.Fatalf("result %d = %d, want %d", i, v, i+1)
+		}
+	}
+}
+
+// TestFirstErrorShortCircuits proves the pool contract the synthesis
+// paths rely on: one failing task cancels the shared context and tasks
+// that have not started are never run.
+func TestFirstErrorShortCircuits(t *testing.T) {
+	boom := errors.New("boom")
+	var started atomic.Int64
+	const n = 200
+	err := Do(context.Background(), 2, n, func(ctx context.Context, i int) error {
+		started.Add(1)
+		if i == 0 {
+			return boom
+		}
+		// Everybody else waits for the cancellation triggered by task 0.
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(5 * time.Second):
+			return fmt.Errorf("task %d never saw the cancellation", i)
+		}
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want the task error, got %v", err)
+	}
+	if s := started.Load(); s >= n {
+		t.Fatalf("all %d tasks started despite the early error", n)
+	}
+}
+
+func TestPanicRecoveredAsError(t *testing.T) {
+	_, err := MapN(context.Background(), 4, 8, func(_ context.Context, i int) (int, error) {
+		if i == 3 {
+			panic("kaboom")
+		}
+		return i, nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PanicError, got %v", err)
+	}
+	if pe.Index != 3 || pe.Value != "kaboom" {
+		t.Fatalf("panic metadata wrong: index %d value %v", pe.Index, pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("panic error should carry the goroutine stack")
+	}
+}
+
+// TestConcurrencyBound observes the in-flight high-water mark through an
+// atomic counter: it must reach the bound (the tasks block long enough to
+// pile up even on one CPU) and never exceed it.
+func TestConcurrencyBound(t *testing.T) {
+	const workers = 4
+	var inFlight, high atomic.Int64
+	err := Do(context.Background(), workers, 32, func(_ context.Context, i int) error {
+		cur := inFlight.Add(1)
+		defer inFlight.Add(-1)
+		for {
+			h := high.Load()
+			if cur <= h || high.CompareAndSwap(h, cur) {
+				break
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := high.Load(); h > workers {
+		t.Fatalf("high-water mark %d exceeds the bound %d", h, workers)
+	}
+	if h := high.Load(); h < 2 {
+		t.Fatalf("high-water mark %d shows no overlap at all", h)
+	}
+}
+
+func TestWorkerDefaultsAndEmptyInput(t *testing.T) {
+	// workers <= 0 falls back to GOMAXPROCS; workers > n is clamped.
+	for _, w := range []int{-1, 0, 1, 1000} {
+		got, err := MapN(context.Background(), w, 3, func(_ context.Context, i int) (int, error) {
+			return i, nil
+		})
+		if err != nil || len(got) != 3 {
+			t.Fatalf("workers=%d: err %v, %d results", w, err, len(got))
+		}
+	}
+	got, err := MapN(context.Background(), 4, 0, func(_ context.Context, i int) (int, error) {
+		t.Error("task ran for n=0")
+		return 0, nil
+	})
+	if err != nil || len(got) != 0 {
+		t.Fatalf("n=0: err %v, %d results", err, len(got))
+	}
+}
+
+func TestParentCancellationPropagates(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	err := Do(ctx, 4, 16, func(_ context.Context, i int) error {
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d tasks ran on a dead context", ran.Load())
+	}
+}
+
+// TestPartialResultsSurviveError: entries finished before the failure
+// stay usable (the Monte-Carlo reducer relies on the slice length).
+func TestPartialResultsSurviveError(t *testing.T) {
+	boom := errors.New("boom")
+	got, err := MapN(context.Background(), 1, 4, func(_ context.Context, i int) (int, error) {
+		if i == 2 {
+			return 0, boom
+		}
+		return i + 10, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+	if len(got) != 4 || got[0] != 10 || got[1] != 11 {
+		t.Fatalf("completed prefix lost: %v", got)
+	}
+}
