@@ -14,10 +14,19 @@
 // Serial/parallel pairs (identical results, sec/op ratio = speedup):
 // BenchmarkTable1AllCasesSerial vs BenchmarkTable1AllCases and
 // BenchmarkMonteCarloOffset vs BenchmarkMonteCarloOffsetParallel.
+//
+// The serving layer (DESIGN.md row 22) gets its own cold/hot pair:
+// BenchmarkServeSynthesizeCold vs BenchmarkServeSynthesizeHot — the
+// sec/op ratio is the value of the content-addressed result cache on a
+// repeat request.
 package loas
 
 import (
+	"fmt"
 	"math/cmplx"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"loas/internal/circuit"
@@ -26,6 +35,7 @@ import (
 	"loas/internal/mc"
 	"loas/internal/repro"
 	"loas/internal/scfilter"
+	"loas/internal/serve"
 	"loas/internal/sizing"
 	"loas/internal/techno"
 )
@@ -327,4 +337,53 @@ func BenchmarkCornerSweep(b *testing.B) {
 	}
 	b.ReportMetric(corners[techno.CornerSS].GBW/1e6, "ss_gbw_MHz")
 	b.ReportMetric(corners[techno.CornerFF].GBW/1e6, "ff_gbw_MHz")
+}
+
+// benchServePost drives one request through the daemon's handler
+// in-process (no sockets, so the measurement is cache + engine, not
+// the TCP stack).
+func benchServePost(b *testing.B, h http.Handler, body string) {
+	b.Helper()
+	req := httptest.NewRequest("POST", "/v1/synthesize", strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK || w.Body.Len() == 0 {
+		b.Fatalf("status %d, %d bytes: %s", w.Code, w.Body.Len(), w.Body.String())
+	}
+}
+
+// BenchmarkServeSynthesizeCold: every iteration carries a fresh content
+// address (the layout-call cap varies while staying far above what a
+// case-1 synthesis uses, so the work itself is identical), forcing a
+// full backend synthesis each time.
+func BenchmarkServeSynthesizeCold(b *testing.B) {
+	s := serve.New(serve.Config{})
+	defer s.Close()
+	h := s.Handler()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchServePost(b, h, fmt.Sprintf(
+			`{"case":1,"skip_verify":true,"max_layout_calls":%d}`, 50+i))
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(s.Stats().BackendRuns), "backend_runs")
+}
+
+// BenchmarkServeSynthesizeHot repeats one identical request; after the
+// warm-up every iteration is a byte-replay from the result cache.
+func BenchmarkServeSynthesizeHot(b *testing.B) {
+	s := serve.New(serve.Config{})
+	defer s.Close()
+	h := s.Handler()
+	const body = `{"case":1,"skip_verify":true}`
+	benchServePost(b, h, body) // warm the cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchServePost(b, h, body)
+	}
+	b.StopTimer()
+	if runs := s.Stats().BackendRuns; runs != 1 {
+		b.Fatalf("hot path ran the backend %d times, want 1", runs)
+	}
 }

@@ -1,10 +1,14 @@
 #!/bin/sh
 # CI gate for the repository. The -race run is mandatory: the parallel
-# synthesis engine (internal/parallel and its users in mc, core, repro)
-# is only shippable while the race detector, the worker-invariance tests
-# and the shared-tech concurrency tests all pass.
+# synthesis engine (internal/parallel and its users in mc, core, repro,
+# serve) is only shippable while the race detector, the worker-invariance
+# tests and the shared-tech concurrency tests all pass.
 set -eux
+
+# Formatting gate: gofmt must have nothing to say.
+test -z "$(gofmt -l .)"
 
 go vet ./...
 go build ./...
+go build ./cmd/...
 go test -race ./...

@@ -5,125 +5,142 @@
 //
 //	loas fig2                  capacitance reduction factor table
 //	loas fig3 [-svg file]      current-mirror stack generation
-//	loas table1 [-case N]      the four-case sizing/extraction table
+//	loas table1 [-case N] [-json]  the four-case sizing/extraction table
 //	loas fig5 [-svg file]      generate the case-4 OTA layout
 //	loas flow                  proposed vs traditional flow comparison
 //	loas netlist [-case N]     print the extracted SPICE-like netlist
-//	loas mc [-n N]             Monte-Carlo mismatch offset analysis
+//	loas mc [-n N] [-json]     Monte-Carlo mismatch offset analysis
 //	loas techeval              technology characterization report
 //	loas twostage              size the two-stage Miller OTA
 //	loas converge              per-call parasitic convergence trace
+//	loas serve [flags]         run the loasd synthesis daemon (alias)
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
-	"loas/internal/circuit"
 	"loas/internal/core"
 	"loas/internal/layout/cairo"
-	"loas/internal/mc"
 	"loas/internal/repro"
+	"loas/internal/serve"
 	"loas/internal/sizing"
 	"loas/internal/techeval"
 	"loas/internal/techno"
 )
+
+// errUnknownCommand makes main print usage and exit 2; everything else
+// exits 1.
+var errUnknownCommand = errors.New("unknown command")
 
 func main() {
 	if len(os.Args) < 2 {
 		usage()
 		os.Exit(2)
 	}
-	cmd, args := os.Args[1], os.Args[2:]
-	tech := techno.Default060()
-	spec := sizing.Default65MHz()
-
-	var err error
-	switch cmd {
-	case "fig2":
-		fmt.Print(repro.Fig2Text(20))
-	case "fig3":
-		err = runFig3(tech, args)
-	case "table1":
-		err = runTable1(tech, spec, args)
-	case "fig5":
-		err = runFig5(tech, spec, args)
-	case "flow":
-		var s string
-		s, err = repro.FlowComparison(tech, spec)
-		fmt.Print(s)
-	case "netlist":
-		err = runNetlist(tech, spec, args)
-	case "mc":
-		err = runMC(tech, spec, args)
-	case "techeval":
-		fmt.Print(techeval.Characterize(tech, techno.NMOS).Summary() + "\n")
-		fmt.Print(techeval.Characterize(tech, techno.PMOS).Summary() + "\n")
-	case "twostage":
-		err = runTwoStage(tech, args)
-	case "converge":
-		var pts []repro.ConvergencePoint
-		pts, err = repro.ConvergenceTrace(tech, spec, 8)
-		if err == nil {
-			fmt.Print(repro.ConvergenceText(pts))
+	if err := run(os.Args[1], os.Args[2:], os.Stdout); err != nil {
+		if errors.Is(err, errUnknownCommand) {
+			usage()
+			os.Exit(2)
 		}
-	case "corners":
-		err = runCorners(tech, spec)
-	default:
-		usage()
-		os.Exit(2)
-	}
-	if err != nil {
 		fmt.Fprintln(os.Stderr, "loas:", err)
 		os.Exit(1)
 	}
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr,
-		`usage: loas <fig2|fig3|table1|fig5|flow|netlist|mc|techeval|twostage|converge|corners> [flags]`)
+// run dispatches one subcommand, writing its report to out. It is the
+// in-process entry point the smoke tests drive.
+func run(cmd string, args []string, out io.Writer) error {
+	tech := techno.Default060()
+	spec := sizing.Default65MHz()
+
+	switch cmd {
+	case "fig2":
+		_, err := io.WriteString(out, repro.Fig2Text(20))
+		return err
+	case "fig3":
+		return runFig3(tech, args, out)
+	case "table1":
+		return runTable1(tech, spec, args, out)
+	case "fig5":
+		return runFig5(tech, spec, args, out)
+	case "flow":
+		s, err := repro.FlowComparison(tech, spec)
+		if err != nil {
+			return err
+		}
+		_, err = io.WriteString(out, s)
+		return err
+	case "netlist":
+		return runNetlist(tech, spec, args, out)
+	case "mc":
+		return runMC(tech, spec, args, out)
+	case "techeval":
+		fmt.Fprint(out, techeval.Characterize(tech, techno.NMOS).Summary()+"\n")
+		fmt.Fprint(out, techeval.Characterize(tech, techno.PMOS).Summary()+"\n")
+		return nil
+	case "twostage":
+		return runTwoStage(tech, args, out)
+	case "converge":
+		pts, err := repro.ConvergenceTrace(tech, spec, 8)
+		if err != nil {
+			return err
+		}
+		_, err = io.WriteString(out, repro.ConvergenceText(pts))
+		return err
+	case "corners":
+		return runCorners(tech, spec, out)
+	case "serve":
+		return serve.CLI(args, out)
+	default:
+		return fmt.Errorf("%w: %q", errUnknownCommand, cmd)
+	}
 }
 
-func runMC(tech *techno.Tech, spec sizing.OTASpec, args []string) error {
+func usage() {
+	fmt.Fprintln(os.Stderr,
+		`usage: loas <fig2|fig3|table1|fig5|flow|netlist|mc|techeval|twostage|converge|corners|serve> [flags]`)
+}
+
+// writeJSON shares the daemon's encoder so `loas -json` output is
+// byte-identical to the corresponding loasd response body.
+func writeJSON(out io.Writer, v any) error {
+	enc := json.NewEncoder(out)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+func runMC(tech *techno.Tech, spec sizing.OTASpec, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("mc", flag.ExitOnError)
 	n := fs.Int("n", 25, "number of Monte-Carlo samples")
 	seed := fs.Int64("seed", 1, "random seed")
 	workers := fs.Int("workers", 0, "worker goroutines (0 = all CPUs, 1 = serial; same statistics either way)")
+	caseN := fs.Int("case", 1, "Table-1 case of the design under test (1-4)")
+	asJSON := fs.Bool("json", false, "emit the MCReport as JSON (same encoding as POST /v1/mc)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	ps, _ := sizing.Case(1)
-	d, err := sizing.SizeFoldedCascode(tech, spec, ps)
+	rep, err := serve.RunMC(tech, spec, *caseN, *n, *seed, *workers)
 	if err != nil {
 		return err
 	}
-	cfg := mc.OffsetConfig{
-		Build:   func() *circuit.Circuit { return d.Netlist("mc") },
-		InP:     sizing.NetInP,
-		InN:     sizing.NetInN,
-		Out:     sizing.NetOut,
-		VicmDC:  0.5 * (spec.ICMLow + spec.ICMHigh),
-		VoutMid: 0.5 * (spec.OutLow + spec.OutHigh),
-		Temp:    tech.Temp,
-		NodeSet: d.NodeSet(),
-		Workers: *workers,
+	if *asJSON {
+		return writeJSON(out, rep)
 	}
-	stats, err := mc.RunOffset(cfg, *n, *seed)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("Monte-Carlo offset (%d samples, %d failed):\n", stats.N, stats.Failures)
-	fmt.Printf("  mean  %8.3f mV\n  sigma %8.3f mV\n  worst %8.3f mV\n",
-		stats.MeanV*1e3, stats.SigmaV*1e3, stats.WorstAbsV*1e3)
-	est := mc.EstimateOffsetSigma(&tech.P,
-		d.Devices[sizing.MP1].W, d.Devices[sizing.MP1].L,
-		&tech.N, d.Devices[sizing.MN5].W, d.Devices[sizing.MN5].L, 0.7)
-	fmt.Printf("  analytic estimate: %8.3f mV\n", est*1e3)
+	st := rep.Stats
+	fmt.Fprintf(out, "Monte-Carlo offset (%d samples, %d failed):\n", st.N, st.Failures)
+	fmt.Fprintf(out, "  mean  %8.3f mV\n  sigma %8.3f mV\n  worst %8.3f mV\n",
+		st.MeanV*1e3, st.SigmaV*1e3, st.WorstAbsV*1e3)
+	fmt.Fprintf(out, "  analytic estimate: %8.3f mV\n", rep.AnalyticSigmaV*1e3)
 	return nil
 }
 
-func runTwoStage(tech *techno.Tech, args []string) error {
+func runTwoStage(tech *techno.Tech, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("twostage", flag.ExitOnError)
 	gbw := fs.Float64("gbw", 20e6, "gain-bandwidth target (Hz)")
 	cl := fs.Float64("cl", 5e-12, "load capacitance (F)")
@@ -137,21 +154,21 @@ func runTwoStage(tech *techno.Tech, args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("two-stage Miller OTA: Itail %.1f uA, I6 %.1f uA, CC %.2f pF, RZ %.0f ohm\n",
+	fmt.Fprintf(out, "two-stage Miller OTA: Itail %.1f uA, I6 %.1f uA, CC %.2f pF, RZ %.0f ohm\n",
 		d.Itail*1e6, d.I6*1e6, d.CC*1e12, d.RZ)
-	fmt.Printf("  gain %.1f dB, GBW %.2f MHz, PM %.1f deg, SR %.1f V/us, power %.2f mW\n",
+	fmt.Fprintf(out, "  gain %.1f dB, GBW %.2f MHz, PM %.1f deg, SR %.1f V/us, power %.2f mW\n",
 		d.Predicted.DCGainDB, d.Predicted.GBW/1e6, d.Predicted.PhaseDeg,
 		d.Predicted.SlewRate/1e6, d.Predicted.Power*1e3)
 	plan, err := d.Layout().Plan(tech, cairo.Constraint{})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("  layout: %.1f x %.1f um (%.0f um2)\n",
+	fmt.Fprintf(out, "  layout: %.1f x %.1f um (%.0f um2)\n",
 		plan.Parasitics.WidthUM, plan.Parasitics.HeightUM, plan.Parasitics.AreaUM2)
 	return nil
 }
 
-func runCorners(tech *techno.Tech, spec sizing.OTASpec) error {
+func runCorners(tech *techno.Tech, spec sizing.OTASpec, out io.Writer) error {
 	res, err := core.Synthesize(tech, spec, core.Options{Case: 4})
 	if err != nil {
 		return err
@@ -160,17 +177,17 @@ func runCorners(tech *techno.Tech, spec sizing.OTASpec) error {
 	if err != nil {
 		return err
 	}
-	fmt.Println("process-corner verification of the case-4 design (tracking bias):")
+	fmt.Fprintln(out, "process-corner verification of the case-4 design (tracking bias):")
 	for _, c := range []techno.Corner{techno.CornerSS, techno.CornerSF,
 		techno.CornerTT, techno.CornerFS, techno.CornerFF} {
 		p := corners[c]
-		fmt.Printf("  %s: gain %.1f dB, GBW %.1f MHz, PM %.1f deg, power %.2f mW\n",
+		fmt.Fprintf(out, "  %s: gain %.1f dB, GBW %.1f MHz, PM %.1f deg, power %.2f mW\n",
 			c, p.DCGainDB, p.GBW/1e6, p.PhaseDeg, p.Power*1e3)
 	}
 	return nil
 }
 
-func runFig3(tech *techno.Tech, args []string) error {
+func runFig3(tech *techno.Tech, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("fig3", flag.ExitOnError)
 	svg := fs.String("svg", "", "write the mirror layout as SVG to this file")
 	if err := fs.Parse(args); err != nil {
@@ -180,7 +197,7 @@ func runFig3(tech *techno.Tech, args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Print(text)
+	fmt.Fprint(out, text)
 	if *svg != "" {
 		r, err := repro.Fig3(tech)
 		if err != nil {
@@ -194,43 +211,51 @@ func runFig3(tech *techno.Tech, args []string) error {
 		if err := cairo.WriteSVG(f, r.Stack.Cell); err != nil {
 			return err
 		}
-		fmt.Println("wrote", *svg)
+		fmt.Fprintln(out, "wrote", *svg)
 	}
 	return nil
 }
 
-func runTable1(tech *techno.Tech, spec sizing.OTASpec, args []string) error {
+func runTable1(tech *techno.Tech, spec sizing.OTASpec, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("table1", flag.ExitOnError)
 	onlyCase := fs.Int("case", 0, "run a single case (1-4); 0 = all")
+	asJSON := fs.Bool("json", false, "emit the Table1Report as JSON (same encoding as POST /v1/table1)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	var cases []repro.Table1Case
 	if *onlyCase != 0 {
 		res, err := core.Synthesize(tech, spec, core.Options{Case: *onlyCase})
 		if err != nil {
 			return err
 		}
-		cases := []repro.Table1Case{{Case: *onlyCase, Result: res}}
-		fmt.Print(repro.Table1Text(cases, spec))
+		cases = []repro.Table1Case{{Case: *onlyCase, Result: res}}
+	} else {
+		var err error
+		cases, err = repro.Table1(tech, spec)
+		if err != nil {
+			return err
+		}
+	}
+	if *asJSON {
+		return writeJSON(out, repro.BuildTable1Report(cases, spec))
+	}
+	fmt.Fprint(out, repro.Table1Text(cases, spec))
+	if *onlyCase != 0 {
 		return nil
 	}
-	cases, err := repro.Table1(tech, spec)
-	if err != nil {
-		return err
-	}
-	fmt.Print(repro.Table1Text(cases, spec))
 	if bad := repro.Table1ShapeChecks(cases, spec); len(bad) > 0 {
-		fmt.Println("shape-check violations:")
+		fmt.Fprintln(out, "shape-check violations:")
 		for _, s := range bad {
-			fmt.Println("  -", s)
+			fmt.Fprintln(out, "  -", s)
 		}
 	} else {
-		fmt.Println("all Table-1 qualitative shape checks hold.")
+		fmt.Fprintln(out, "all Table-1 qualitative shape checks hold.")
 	}
 	return nil
 }
 
-func runFig5(tech *techno.Tech, spec sizing.OTASpec, args []string) error {
+func runFig5(tech *techno.Tech, spec sizing.OTASpec, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("fig5", flag.ExitOnError)
 	svg := fs.String("svg", "ota-layout.svg", "output SVG file")
 	if err := fs.Parse(args); err != nil {
@@ -240,7 +265,7 @@ func runFig5(tech *techno.Tech, spec sizing.OTASpec, args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Print(repro.Fig5Text(r))
+	fmt.Fprint(out, repro.Fig5Text(r))
 	f, err := os.Create(*svg)
 	if err != nil {
 		return err
@@ -249,11 +274,11 @@ func runFig5(tech *techno.Tech, spec sizing.OTASpec, args []string) error {
 	if err := r.WriteSVG(f); err != nil {
 		return err
 	}
-	fmt.Println("wrote", *svg)
+	fmt.Fprintln(out, "wrote", *svg)
 	return nil
 }
 
-func runNetlist(tech *techno.Tech, spec sizing.OTASpec, args []string) error {
+func runNetlist(tech *techno.Tech, spec sizing.OTASpec, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("netlist", flag.ExitOnError)
 	c := fs.Int("case", 4, "Table-1 case (1-4)")
 	if err := fs.Parse(args); err != nil {
@@ -263,6 +288,6 @@ func runNetlist(tech *techno.Tech, spec sizing.OTASpec, args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Print(res.ExtractedCkt.Export())
-	return nil
+	_, err = io.WriteString(out, res.ExtractedCkt.Export())
+	return err
 }

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runOut drives one subcommand's handler in-process and returns its
+// output, failing the test on a non-nil (non-zero exit) result.
+func runOut(t *testing.T, cmd string, args ...string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(cmd, args, &buf); err != nil {
+		t.Fatalf("loas %s %v: %v", cmd, args, err)
+	}
+	if buf.Len() == 0 {
+		t.Fatalf("loas %s %v: empty output", cmd, args)
+	}
+	return buf.String()
+}
+
+func TestSmokeFig2(t *testing.T) {
+	out := runOut(t, "fig2")
+	if !strings.Contains(out, "F") {
+		t.Fatalf("fig2 output unexpected: %q", out)
+	}
+}
+
+func TestSmokeFig3(t *testing.T) {
+	svg := filepath.Join(t.TempDir(), "mirror.svg")
+	out := runOut(t, "fig3", "-svg", svg)
+	if !strings.Contains(out, "wrote "+svg) {
+		t.Fatal("fig3 did not report the SVG file")
+	}
+	data, err := os.ReadFile(svg)
+	if err != nil || !bytes.HasPrefix(data, []byte("<svg")) {
+		t.Fatalf("fig3 svg: %v, %d bytes", err, len(data))
+	}
+}
+
+func TestSmokeTable1SingleCase(t *testing.T) {
+	out := runOut(t, "table1", "-case", "1")
+	if !strings.Contains(out, "Case 1") || !strings.Contains(out, "GBW") {
+		t.Fatalf("table1 output unexpected:\n%s", out)
+	}
+}
+
+func TestSmokeTable1JSON(t *testing.T) {
+	out := runOut(t, "table1", "-case", "1", "-json")
+	var rep struct {
+		Rows []struct {
+			Case int `json:"case"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("-json output is not JSON: %v", err)
+	}
+	if len(rep.Rows) != 1 || rep.Rows[0].Case != 1 {
+		t.Fatalf("rows = %+v", rep.Rows)
+	}
+}
+
+func TestSmokeMCJSON(t *testing.T) {
+	out := runOut(t, "mc", "-n", "2", "-json")
+	var rep struct {
+		Stats struct {
+			N        int `json:"n"`
+			Failures int `json:"failures"`
+		} `json:"stats"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("-json output is not JSON: %v", err)
+	}
+	if rep.Stats.N+rep.Stats.Failures != 2 {
+		t.Fatalf("mc samples: %+v", rep.Stats)
+	}
+}
+
+func TestSmokeMCText(t *testing.T) {
+	out := runOut(t, "mc", "-n", "2")
+	if !strings.Contains(out, "sigma") || !strings.Contains(out, "analytic estimate") {
+		t.Fatalf("mc text output unexpected:\n%s", out)
+	}
+}
+
+func TestSmokeNetlist(t *testing.T) {
+	out := runOut(t, "netlist", "-case", "1")
+	if !strings.Contains(out, "M") {
+		t.Fatalf("netlist output unexpected:\n%s", out)
+	}
+}
+
+func TestSmokeTecheval(t *testing.T) {
+	runOut(t, "techeval")
+}
+
+func TestSmokeTwoStage(t *testing.T) {
+	out := runOut(t, "twostage")
+	if !strings.Contains(out, "two-stage Miller OTA") {
+		t.Fatalf("twostage output unexpected:\n%s", out)
+	}
+}
+
+func TestSmokeConverge(t *testing.T) {
+	runOut(t, "converge")
+}
+
+func TestSmokeFig5(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig5 runs a full case-4 synthesis")
+	}
+	svg := filepath.Join(t.TempDir(), "ota.svg")
+	out := runOut(t, "fig5", "-svg", svg)
+	if !strings.Contains(out, "Fig. 5") {
+		t.Fatalf("fig5 output unexpected:\n%s", out)
+	}
+	if fi, err := os.Stat(svg); err != nil || fi.Size() == 0 {
+		t.Fatalf("fig5 svg missing: %v", err)
+	}
+}
+
+func TestSmokeCorners(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corners runs a full case-4 synthesis plus five corner sims")
+	}
+	out := runOut(t, "corners")
+	if !strings.Contains(out, "tt:") {
+		t.Fatalf("corners output unexpected:\n%s", out)
+	}
+}
+
+func TestUnknownCommandExitsUsage(t *testing.T) {
+	var buf bytes.Buffer
+	err := run("definitely-not-a-command", nil, &buf)
+	if !errors.Is(err, errUnknownCommand) {
+		t.Fatalf("want errUnknownCommand, got %v", err)
+	}
+}

@@ -1,0 +1,27 @@
+// Command loasd serves the layout-oriented synthesis engine over HTTP:
+// a content-addressed result cache, in-flight deduplication of
+// identical requests, and a bounded synthesis job queue in front of the
+// core loop. See internal/serve for the endpoint list and `loasd -h`
+// for the flags.
+//
+// Quickstart:
+//
+//	loasd -addr 127.0.0.1:8086 &
+//	curl -s -X POST http://127.0.0.1:8086/v1/table1 | head
+//	curl -s http://127.0.0.1:8086/stats
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+
+	"loas/internal/serve"
+)
+
+func main() {
+	if err := serve.CLI(os.Args[1:], os.Stdout); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "loasd:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,38 @@
+package core
+
+import "loas/internal/sizing"
+
+// Summary is the serializable projection of a Result: everything a
+// downstream consumer (the loasd daemon, `loas -json`, a dashboard)
+// needs, with none of the live objects (design, netlist, layout plan).
+// The JSON tags define the wire format shared by the CLI and the
+// server.
+type Summary struct {
+	Case         int                `json:"case,omitempty"`
+	Synthesized  sizing.Performance `json:"synthesized"`
+	Extracted    sizing.Performance `json:"extracted"`
+	LayoutCalls  int                `json:"layout_calls"`
+	SizingPasses int                `json:"sizing_passes"`
+	ElapsedMS    float64            `json:"elapsed_ms"`
+	WidthUM      float64            `json:"width_um"`
+	HeightUM     float64            `json:"height_um"`
+	AreaUM2      float64            `json:"area_um2"`
+}
+
+// Summary projects the result onto its serializable form. The Case
+// field is not known to the Result itself; callers set it afterwards.
+func (r *Result) Summary() Summary {
+	s := Summary{
+		Synthesized:  r.Synthesized,
+		Extracted:    r.Extracted,
+		LayoutCalls:  r.LayoutCalls,
+		SizingPasses: r.SizingPasses,
+		ElapsedMS:    float64(r.Elapsed.Nanoseconds()) / 1e6,
+	}
+	if r.Parasitics != nil {
+		s.WidthUM = r.Parasitics.WidthUM
+		s.HeightUM = r.Parasitics.HeightUM
+		s.AreaUM2 = r.Parasitics.AreaUM2
+	}
+	return s
+}

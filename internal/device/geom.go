@@ -63,11 +63,11 @@ func FFactor(nf int, style DiffNet) (fd, fs float64) {
 // of what the layout tool returns to the sizing tool in
 // parasitic-calculation mode.
 type FoldPlan struct {
-	Folds       int     // number of gate fingers (≥ 1)
-	FingerW     float64 // drawn width of one finger (m), grid-snapped
-	Style       DiffNet
-	DrainStrips int // total drain diffusion strips
-	DrainExt    int // of which on the stack ends
+	Folds        int     // number of gate fingers (≥ 1)
+	FingerW      float64 // drawn width of one finger (m), grid-snapped
+	Style        DiffNet
+	DrainStrips  int // total drain diffusion strips
+	DrainExt     int // of which on the stack ends
 	SourceStrips int
 	SourceExt    int
 }

@@ -11,9 +11,9 @@ import (
 func TestFFactorPaperValues(t *testing.T) {
 	// Exact values from the paper's Fig. 2 formulas.
 	cases := []struct {
-		nf       int
-		style    DiffNet
-		fd, fs   float64
+		nf     int
+		style  DiffNet
+		fd, fs float64
 	}{
 		{1, DrainInternal, 1.0, 1.0},             // odd: (1+1)/2 = 1
 		{2, DrainInternal, 0.5, 1.0},             // even: 1/2 and (2+2)/4

@@ -52,9 +52,9 @@ type Transistor struct {
 	W, L float64
 	// Style picks the interior net; the paper makes frequency-critical
 	// drains internal, which also prefers even fold counts.
-	Style                                  device.DiffNet
+	Style                                 device.DiffNet
 	DrainNet, GateNet, SourceNet, BulkNet string
-	IDrain                                 float64
+	IDrain                                float64
 	// MaxFolds bounds the alternatives (default 8).
 	MaxFolds int
 	// EvenOnly restricts to even fold counts (plus 1) so the critical

@@ -15,7 +15,7 @@ import (
 type CapModule struct {
 	Inst string
 	// C is the target capacitance (F).
-	C float64
+	C                 float64
 	TopNet, BottomNet string
 	// Aspects lists width/height ratios offered as shape alternatives
 	// (default 1, 2, 4 — wider than tall).
@@ -122,7 +122,7 @@ func (c *CapModule) RealizedCap(tech *techno.Tech, choice int) (float64, error) 
 type ResistorModule struct {
 	Inst string
 	// R is the target resistance (Ω).
-	R float64
+	R          float64
 	ANet, BNet string
 	// WidthNM is the bar width (defaults to 2× min poly width for
 	// matching robustness).

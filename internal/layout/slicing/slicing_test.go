@@ -16,8 +16,8 @@ func leaf(name string, whs ...[2]int64) *Leaf {
 func TestParetoFilters(t *testing.T) {
 	sf := Pareto([]Option{
 		{W: 10, H: 10}, {W: 20, H: 5}, {W: 15, H: 12}, // 15x12 dominated by 10x10
-		{W: 10, H: 8},  // beats 10x10
-		{W: 30, H: 5},  // dominated by 20x5
+		{W: 10, H: 8}, // beats 10x10
+		{W: 30, H: 5}, // dominated by 20x5
 	})
 	if len(sf) != 2 {
 		t.Fatalf("pareto kept %d options: %+v", len(sf), sf)

@@ -136,13 +136,14 @@ func SimulateOffset(cfg OffsetConfig, s Sample) (float64, error) {
 	return vid, nil
 }
 
-// OffsetStats summarizes a Monte-Carlo offset run.
+// OffsetStats summarizes a Monte-Carlo offset run. The JSON tags are
+// the wire format shared by `loas mc -json` and the loasd daemon.
 type OffsetStats struct {
-	N          int
-	MeanV      float64
-	SigmaV     float64
-	WorstAbsV  float64
-	Failures   int // samples whose offset escaped the search window
+	N         int     `json:"n"`
+	MeanV     float64 `json:"mean_v"`
+	SigmaV    float64 `json:"sigma_v"`
+	WorstAbsV float64 `json:"worst_abs_v"`
+	Failures  int     `json:"failures"` // samples whose offset escaped the search window
 }
 
 // sampleSeed derives the i-th sample's RNG seed from the run seed with a

@@ -15,9 +15,9 @@ import (
 // two share models, so they must agree where they model the same things.
 
 var (
-	once   sync.Once
-	design *sizing.FoldedCascode
-	report *Report
+	once    sync.Once
+	design  *sizing.FoldedCascode
+	report  *Report
 	measErr error
 )
 

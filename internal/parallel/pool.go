@@ -1,0 +1,165 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool errors returned by Submit.
+var (
+	// ErrQueueFull reports that the bounded job queue is at capacity and
+	// every worker is busy; the caller should shed load (HTTP 503).
+	ErrQueueFull = errors.New("parallel: job queue full")
+	// ErrPoolClosed reports a Submit after Close started draining.
+	ErrPoolClosed = errors.New("parallel: pool closed")
+)
+
+// Pool is the long-running sibling of MapN: a fixed set of workers
+// consuming a bounded job queue. MapN serves one-shot fan-outs whose
+// lifetime is the call; Pool serves open-ended request traffic (the
+// loasd synthesis daemon) where jobs arrive continuously, excess load
+// must be rejected rather than buffered without bound, and shutdown
+// must drain whatever is queued or running.
+//
+// The MapN guarantees carry over where they make sense: at most
+// `workers` jobs run at once, a panicking job is contained and surfaced
+// as a *PanicError to its submitter, and Close returns only after every
+// accepted job has finished.
+type Pool struct {
+	jobs     chan poolJob
+	wg       sync.WaitGroup
+	workers  int
+	queueCap int
+	limit    int64 // workers + queueCap: max jobs accepted at once
+
+	mu     sync.Mutex
+	closed bool
+
+	depth    atomic.Int64 // jobs accepted and not yet finished
+	executed atomic.Int64
+	rejected atomic.Int64
+}
+
+type poolJob struct {
+	ctx  context.Context
+	fn   func(context.Context) error
+	done chan error
+}
+
+// NewPool starts `workers` goroutines (<= 0 means GOMAXPROCS) over a
+// queue that admits up to `queueDepth` jobs beyond the `workers` that
+// can execute at once (queueDepth = 0: a job is accepted only if a
+// worker slot is free).
+func NewPool(workers, queueDepth int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	p := &Pool{
+		// Admission control is the depth counter, not channel capacity;
+		// the buffer is sized so an admitted send can never block.
+		jobs:     make(chan poolJob, workers+queueDepth),
+		workers:  workers,
+		queueCap: queueDepth,
+		limit:    int64(workers + queueDepth),
+	}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for job := range p.jobs {
+		var err error
+		if job.ctx.Err() != nil {
+			// The submitter gave up while the job was queued; skip the
+			// work entirely.
+			err = job.ctx.Err()
+		} else {
+			err = runProtected(job)
+		}
+		p.depth.Add(-1)
+		p.executed.Add(1)
+		job.done <- err
+	}
+}
+
+func runProtected(job poolJob) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Index: -1, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return job.fn(job.ctx)
+}
+
+// Submit enqueues fn and waits for it to finish, returning fn's error
+// (panics become *PanicError). If the queue is full it returns
+// ErrQueueFull immediately; after Close it returns ErrPoolClosed. If
+// ctx expires first, Submit returns ctx.Err() while the job — if it
+// already started — runs to completion in the background (fn sees the
+// same ctx and may honour the cancellation itself).
+func (p *Pool) Submit(ctx context.Context, fn func(context.Context) error) error {
+	job := poolJob{ctx: ctx, fn: fn, done: make(chan error, 1)}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrPoolClosed
+	}
+	if p.depth.Add(1) > p.limit {
+		p.depth.Add(-1)
+		p.mu.Unlock()
+		p.rejected.Add(1)
+		return ErrQueueFull
+	}
+	p.jobs <- job // never blocks: admission keeps depth within the buffer
+	p.mu.Unlock()
+	select {
+	case err := <-job.done:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close stops accepting jobs, drains everything already accepted
+// (queued jobs still run), and returns when the last worker exits.
+// Close is idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.jobs)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// PoolStats is a point-in-time snapshot of the pool counters.
+type PoolStats struct {
+	Workers  int   `json:"workers"`
+	Capacity int   `json:"capacity"` // queue slots beyond the workers
+	Depth    int64 `json:"depth"`    // accepted jobs not yet finished
+	Executed int64 `json:"executed"`
+	Rejected int64 `json:"rejected"`
+}
+
+// Stats reports the pool counters.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Workers:  p.workers,
+		Capacity: p.queueCap,
+		Depth:    p.depth.Load(),
+		Executed: p.executed.Load(),
+		Rejected: p.rejected.Load(),
+	}
+}

@@ -1,0 +1,154 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsJobs(t *testing.T) {
+	p := NewPool(4, 8)
+	defer p.Close()
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := p.Submit(context.Background(), func(context.Context) error {
+				n.Add(1)
+				return nil
+			}); err != nil && !errors.Is(err, ErrQueueFull) {
+				t.Errorf("submit: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	st := p.Stats()
+	if n.Load() != st.Executed || st.Executed+st.Rejected != 32 {
+		t.Fatalf("executed %d, rejected %d, ran %d", st.Executed, st.Rejected, n.Load())
+	}
+}
+
+func TestPoolBoundedConcurrency(t *testing.T) {
+	const workers = 3
+	p := NewPool(workers, 64)
+	defer p.Close()
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 24; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Submit(context.Background(), func(context.Context) error {
+				c := cur.Add(1)
+				for {
+					pk := peak.Load()
+					if c <= pk || peak.CompareAndSwap(pk, c) {
+						break
+					}
+				}
+				time.Sleep(time.Millisecond)
+				cur.Add(-1)
+				return nil
+			})
+		}()
+	}
+	wg.Wait()
+	if pk := peak.Load(); pk > workers {
+		t.Fatalf("peak concurrency %d > %d workers", pk, workers)
+	}
+}
+
+func TestPoolQueueFull(t *testing.T) {
+	p := NewPool(1, 0)
+	defer p.Close()
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go p.Submit(context.Background(), func(context.Context) error {
+		close(started)
+		<-block
+		return nil
+	})
+	<-started
+	err := p.Submit(context.Background(), func(context.Context) error { return nil })
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("want ErrQueueFull, got %v", err)
+	}
+	if st := p.Stats(); st.Rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", st.Rejected)
+	}
+	close(block)
+}
+
+func TestPoolPanicContained(t *testing.T) {
+	p := NewPool(2, 2)
+	defer p.Close()
+	err := p.Submit(context.Background(), func(context.Context) error {
+		panic("boom")
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Value != "boom" {
+		t.Fatalf("want PanicError(boom), got %v", err)
+	}
+	// The pool survives the panic.
+	if err := p.Submit(context.Background(), func(context.Context) error { return nil }); err != nil {
+		t.Fatalf("submit after panic: %v", err)
+	}
+}
+
+func TestPoolCloseDrains(t *testing.T) {
+	p := NewPool(2, 8)
+	var done atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Submit(context.Background(), func(context.Context) error {
+				time.Sleep(5 * time.Millisecond)
+				done.Add(1)
+				return nil
+			})
+		}()
+	}
+	time.Sleep(2 * time.Millisecond) // let some jobs get accepted
+	p.Close()
+	wg.Wait()
+	if err := p.Submit(context.Background(), func(context.Context) error { return nil }); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("want ErrPoolClosed, got %v", err)
+	}
+	st := p.Stats()
+	if st.Depth != 0 {
+		t.Fatalf("depth after close = %d, want 0", st.Depth)
+	}
+	if done.Load() != st.Executed {
+		t.Fatalf("close lost jobs: done %d, executed %d", done.Load(), st.Executed)
+	}
+}
+
+func TestPoolSubmitContextExpired(t *testing.T) {
+	p := NewPool(1, 4)
+	defer p.Close()
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go p.Submit(context.Background(), func(context.Context) error {
+		close(started)
+		<-block
+		return nil
+	})
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := p.Submit(ctx, func(context.Context) error {
+		t.Error("cancelled queued job must not run")
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	close(block)
+}

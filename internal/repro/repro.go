@@ -17,9 +17,9 @@ import (
 
 // Fig2Point is one curve point of the capacitance-reduction-factor plot.
 type Fig2Point struct {
-	Nf                  int
-	Internal, External  float64 // even-fold internal/external F
-	Odd                 float64 // odd-fold F
+	Nf                 int
+	Internal, External float64 // even-fold internal/external F
+	Odd                float64 // odd-fold F
 }
 
 // Fig2 evaluates the paper's Fig. 2: F versus the number of folds for the

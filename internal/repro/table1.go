@@ -39,6 +39,41 @@ func Table1(tech *techno.Tech, spec sizing.OTASpec) ([]Table1Case, error) {
 	return out, nil
 }
 
+// Table1Row is one serializable column of Table 1 (JSON wire format
+// shared by `loas table1 -json` and the loasd daemon).
+type Table1Row struct {
+	Case        int          `json:"case"`
+	Description string       `json:"description"`
+	Result      core.Summary `json:"result"`
+}
+
+// Table1Report is the machine-readable form of the whole experiment.
+type Table1Report struct {
+	Spec            sizing.OTASpec `json:"spec"`
+	Rows            []Table1Row    `json:"rows"`
+	ShapeViolations []string       `json:"shape_violations,omitempty"`
+}
+
+// BuildTable1Report projects finished cases onto the wire format; the
+// shape checks run only when all four cases are present (a single-case
+// run has nothing to compare against).
+func BuildTable1Report(cases []Table1Case, spec sizing.OTASpec) Table1Report {
+	rep := Table1Report{Spec: spec}
+	for _, c := range cases {
+		s := c.Result.Summary()
+		s.Case = c.Case
+		desc := c.Description
+		if desc == "" && c.Case >= 1 && c.Case < len(table1Descriptions) {
+			desc = table1Descriptions[c.Case]
+		}
+		rep.Rows = append(rep.Rows, Table1Row{Case: c.Case, Description: desc, Result: s})
+	}
+	if len(cases) == core.NumTable1Cases {
+		rep.ShapeViolations = Table1ShapeChecks(cases, spec)
+	}
+	return rep
+}
+
 // Table1Text renders the four columns the way the paper prints them:
 // synthesized value with the extracted-netlist simulation in brackets.
 func Table1Text(cases []Table1Case, spec sizing.OTASpec) string {

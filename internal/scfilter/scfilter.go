@@ -86,7 +86,7 @@ func (g *Integrator) H(f float64) complex128 {
 
 	// Incomplete settling scales the transferred charge each cycle.
 	eps := g.SettlingError()
-	actual *= complex(1 - eps, 0)
+	actual *= complex(1-eps, 0)
 	return actual
 }
 

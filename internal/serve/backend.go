@@ -1,0 +1,221 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"loas/internal/circuit"
+	"loas/internal/core"
+	"loas/internal/mc"
+	"loas/internal/repro"
+	"loas/internal/sizing"
+	"loas/internal/techno"
+)
+
+// SynthesizeRequest is the body of POST /v1/synthesize: one Table-1
+// case. A missing spec means the paper's 65 MHz default.
+type SynthesizeRequest struct {
+	Case           int             `json:"case,omitempty"` // 1-4, default 4
+	Spec           *sizing.OTASpec `json:"spec,omitempty"`
+	MaxLayoutCalls int             `json:"max_layout_calls,omitempty"`
+	SkipVerify     bool            `json:"skip_verify,omitempty"`
+}
+
+func (r *SynthesizeRequest) normalize() error {
+	if r.Case == 0 {
+		r.Case = 4
+	}
+	if r.Case < 1 || r.Case > core.NumTable1Cases {
+		return fmt.Errorf("case must be 1..%d, got %d", core.NumTable1Cases, r.Case)
+	}
+	return nil
+}
+
+func (r *SynthesizeRequest) cacheKey(tech *techno.Tech, spec sizing.OTASpec) string {
+	k := newKey("synthesize", tech)
+	k.spec(spec)
+	k.int("case", int64(r.Case))
+	k.int("maxcalls", int64(r.MaxLayoutCalls))
+	k.bool("skipverify", r.SkipVerify)
+	return k.sum()
+}
+
+// Table1Request is the body of POST /v1/table1: all four cases.
+type Table1Request struct {
+	Spec *sizing.OTASpec `json:"spec,omitempty"`
+}
+
+func (r *Table1Request) cacheKey(tech *techno.Tech, spec sizing.OTASpec) string {
+	k := newKey("table1", tech)
+	k.spec(spec)
+	return k.sum()
+}
+
+// MCRequest is the body of POST /v1/mc: Monte-Carlo mismatch offset.
+// Workers tunes execution only — the statistics are worker-invariant by
+// construction — so it is excluded from the cache key.
+type MCRequest struct {
+	N       int             `json:"n,omitempty"`    // samples, default 25
+	Seed    int64           `json:"seed,omitempty"` // default 1
+	Case    int             `json:"case,omitempty"` // parasitic-awareness level of the design, default 1
+	Workers int             `json:"workers,omitempty"`
+	Spec    *sizing.OTASpec `json:"spec,omitempty"`
+}
+
+func (r *MCRequest) normalize() error {
+	if r.N == 0 {
+		r.N = 25
+	}
+	if r.Seed == 0 {
+		r.Seed = 1
+	}
+	if r.Case == 0 {
+		r.Case = 1
+	}
+	if r.N < 1 || r.N > 100000 {
+		return fmt.Errorf("n must be 1..100000, got %d", r.N)
+	}
+	if r.Case < 1 || r.Case > core.NumTable1Cases {
+		return fmt.Errorf("case must be 1..%d, got %d", core.NumTable1Cases, r.Case)
+	}
+	return nil
+}
+
+func (r *MCRequest) cacheKey(tech *techno.Tech, spec sizing.OTASpec) string {
+	k := newKey("mc", tech)
+	k.spec(spec)
+	k.int("n", int64(r.N))
+	k.int("seed", r.Seed)
+	k.int("case", int64(r.Case))
+	return k.sum()
+}
+
+// MCReport is the serializable Monte-Carlo result shared by
+// `loas mc -json` and POST /v1/mc.
+type MCReport struct {
+	Case            int            `json:"case"`
+	Seed            int64          `json:"seed"`
+	Stats           mc.OffsetStats `json:"stats"`
+	AnalyticSigmaV  float64        `json:"analytic_sigma_v"`
+	GradientCancels bool           `json:"gradient_cancels,omitempty"`
+}
+
+func layoutCacheKey(tech *techno.Tech, spec sizing.OTASpec) string {
+	k := newKey("layout.svg", tech)
+	k.spec(spec)
+	return k.sum()
+}
+
+// Backend produces response bodies for the server. Implementations
+// must be safe for concurrent use; the returned bytes are cached and
+// replayed verbatim. Tests substitute a counting stub to pin down the
+// cache and dedup behaviour without paying for real synthesis.
+type Backend interface {
+	Synthesize(ctx context.Context, spec sizing.OTASpec, req *SynthesizeRequest) ([]byte, error)
+	Table1(ctx context.Context, spec sizing.OTASpec) ([]byte, error)
+	MC(ctx context.Context, spec sizing.OTASpec, req *MCRequest) ([]byte, error)
+	LayoutSVG(ctx context.Context, spec sizing.OTASpec) ([]byte, error)
+}
+
+// StdBackend runs the real synthesis engine.
+type StdBackend struct {
+	Tech *techno.Tech
+}
+
+// Synthesize runs one Table-1 case and returns its JSON summary.
+func (b *StdBackend) Synthesize(_ context.Context, spec sizing.OTASpec, req *SynthesizeRequest) ([]byte, error) {
+	res, err := core.Synthesize(b.Tech, spec, core.Options{
+		Case:           req.Case,
+		MaxLayoutCalls: req.MaxLayoutCalls,
+		SkipVerify:     req.SkipVerify,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := res.Summary()
+	s.Case = req.Case
+	return marshalJSON(s)
+}
+
+// Table1 runs all four cases (concurrently, via core.SynthesizeAll) and
+// returns the full report.
+func (b *StdBackend) Table1(_ context.Context, spec sizing.OTASpec) ([]byte, error) {
+	cases, err := repro.Table1(b.Tech, spec)
+	if err != nil {
+		return nil, err
+	}
+	return marshalJSON(repro.BuildTable1Report(cases, spec))
+}
+
+// MC sizes the requested case's design and runs the mismatch
+// Monte-Carlo on it.
+func (b *StdBackend) MC(_ context.Context, spec sizing.OTASpec, req *MCRequest) ([]byte, error) {
+	rep, err := RunMC(b.Tech, spec, req.Case, req.N, req.Seed, req.Workers)
+	if err != nil {
+		return nil, err
+	}
+	return marshalJSON(rep)
+}
+
+// LayoutSVG generates the case-4 layout (Fig. 5) and returns the SVG
+// document.
+func (b *StdBackend) LayoutSVG(_ context.Context, spec sizing.OTASpec) ([]byte, error) {
+	r, err := repro.Fig5(b.Tech, spec)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := r.WriteSVG(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// RunMC is the shared Monte-Carlo pipeline behind `loas mc` and
+// POST /v1/mc: size the case design, fan the samples across the worker
+// pool, attach the analytic Pelgrom estimate.
+func RunMC(tech *techno.Tech, spec sizing.OTASpec, caseN, n int, seed int64, workers int) (*MCReport, error) {
+	ps, err := sizing.Case(caseN)
+	if err != nil {
+		return nil, err
+	}
+	d, err := sizing.SizeFoldedCascode(tech, spec, ps)
+	if err != nil {
+		return nil, err
+	}
+	cfg := mc.OffsetConfig{
+		Build:   func() *circuit.Circuit { return d.Netlist("mc") },
+		InP:     sizing.NetInP,
+		InN:     sizing.NetInN,
+		Out:     sizing.NetOut,
+		VicmDC:  0.5 * (spec.ICMLow + spec.ICMHigh),
+		VoutMid: 0.5 * (spec.OutLow + spec.OutHigh),
+		Temp:    tech.Temp,
+		NodeSet: d.NodeSet(),
+		Workers: workers,
+	}
+	stats, err := mc.RunOffset(cfg, n, seed)
+	if err != nil {
+		return nil, err
+	}
+	est := mc.EstimateOffsetSigma(&tech.P,
+		d.Devices[sizing.MP1].W, d.Devices[sizing.MP1].L,
+		&tech.N, d.Devices[sizing.MN5].W, d.Devices[sizing.MN5].L, 0.7)
+	return &MCReport{Case: caseN, Seed: seed, Stats: *stats, AnalyticSigmaV: est}, nil
+}
+
+// marshalJSON is the one JSON encoder for every cacheable body:
+// indented, trailing newline, HTML escaping off. One encoder ⇒ cached
+// replays are byte-identical to cold responses.
+func marshalJSON(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

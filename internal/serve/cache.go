@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"time"
+)
+
+// Value is a cached response: the exact bytes the server will replay,
+// plus the content type they were produced under. Replaying bytes (not
+// re-encoding structs) is what makes cache hits byte-identical to the
+// response that populated them.
+type Value struct {
+	Body        []byte
+	ContentType string
+}
+
+const entryOverhead = 128 // accounting estimate per entry (key, pointers, list node)
+
+func (v Value) size() int64 {
+	return int64(len(v.Body)) + int64(len(v.ContentType)) + entryOverhead
+}
+
+// CacheStats is a point-in-time snapshot of the cache counters.
+type CacheStats struct {
+	Entries     int   `json:"entries"`
+	Bytes       int64 `json:"bytes"`
+	MaxBytes    int64 `json:"max_bytes"`
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Evictions   int64 `json:"evictions"`
+	Expirations int64 `json:"expirations"`
+}
+
+// Cache is a byte-bounded LRU with optional TTL over content-addressed
+// synthesis results. All methods are safe for concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	ttl      time.Duration // 0 = entries never expire
+	ll       *list.List    // front = most recently used
+	items    map[string]*list.Element
+	bytes    int64
+
+	hits, misses, evictions, expirations int64
+
+	now func() time.Time // injectable clock for TTL tests
+}
+
+type cacheEntry struct {
+	key     string
+	val     Value
+	expires time.Time // zero = never
+}
+
+// NewCache builds a cache bounded to maxBytes of stored response bytes
+// (plus a small per-entry overhead). maxBytes <= 0 disables caching
+// entirely; ttl <= 0 disables expiry.
+func NewCache(maxBytes int64, ttl time.Duration) *Cache {
+	if ttl < 0 {
+		ttl = 0
+	}
+	return &Cache{
+		maxBytes: maxBytes,
+		ttl:      ttl,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+		now:      time.Now,
+	}
+}
+
+// Get returns the cached value for key and whether it was present and
+// fresh. An expired entry counts as a miss and is removed.
+func (c *Cache) Get(key string) (Value, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return Value{}, false
+	}
+	ent := el.Value.(*cacheEntry)
+	if !ent.expires.IsZero() && c.now().After(ent.expires) {
+		c.removeLocked(el)
+		c.expirations++
+		c.misses++
+		return Value{}, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits++
+	return ent.val, true
+}
+
+// Put stores the value under key, evicting least-recently-used entries
+// until the byte bound holds. A value larger than the whole cache is
+// not stored.
+func (c *Cache) Put(key string, v Value) {
+	if v.size() > c.maxBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var expires time.Time
+	if c.ttl > 0 {
+		expires = c.now().Add(c.ttl)
+	}
+	if el, ok := c.items[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		c.bytes += v.size() - ent.val.size()
+		ent.val, ent.expires = v, expires
+		c.ll.MoveToFront(el)
+	} else {
+		el := c.ll.PushFront(&cacheEntry{key: key, val: v, expires: expires})
+		c.items[key] = el
+		c.bytes += v.size()
+	}
+	for c.bytes > c.maxBytes {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		c.removeLocked(back)
+		c.evictions++
+	}
+}
+
+func (c *Cache) removeLocked(el *list.Element) {
+	ent := el.Value.(*cacheEntry)
+	c.ll.Remove(el)
+	delete(c.items, ent.key)
+	c.bytes -= ent.val.size()
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:     len(c.items),
+		Bytes:       c.bytes,
+		MaxBytes:    c.maxBytes,
+		Hits:        c.hits,
+		Misses:      c.misses,
+		Evictions:   c.evictions,
+		Expirations: c.expirations,
+	}
+}

@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func val(s string) Value { return Value{Body: []byte(s), ContentType: "t"} }
+
+func TestCacheHitMiss(t *testing.T) {
+	c := NewCache(1<<20, 0)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put("a", val("body"))
+	v, ok := c.Get("a")
+	if !ok || string(v.Body) != "body" || v.ContentType != "t" {
+		t.Fatalf("get = %q, %v", v.Body, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheLRUEvictionAtByteBound(t *testing.T) {
+	entry := val("0123456789").size() // all entries same size
+	c := NewCache(3*entry, 0)
+	for i := 0; i < 3; i++ {
+		c.Put(fmt.Sprintf("k%d", i), val("0123456789"))
+	}
+	c.Get("k0") // k0 now most recent; k1 is LRU
+	c.Put("k3", val("0123456789"))
+	if _, ok := c.Get("k1"); ok {
+		t.Fatal("k1 should have been evicted as LRU")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s should have survived", k)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.Bytes > st.MaxBytes {
+		t.Fatalf("bytes %d over bound %d", st.Bytes, st.MaxBytes)
+	}
+}
+
+func TestCacheOversizeEntryNotStored(t *testing.T) {
+	c := NewCache(64, 0)
+	c.Put("big", val(string(make([]byte, 1024))))
+	if _, ok := c.Get("big"); ok {
+		t.Fatal("entry larger than the cache must not be stored")
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheTTLExpiry(t *testing.T) {
+	c := NewCache(1<<20, time.Minute)
+	now := time.Unix(1000, 0)
+	c.now = func() time.Time { return now }
+
+	c.Put("a", val("x"))
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("fresh entry should hit")
+	}
+	now = now.Add(2 * time.Minute)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("expired entry should miss")
+	}
+	st := c.Stats()
+	if st.Expirations != 1 || st.Entries != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Re-putting after expiry works and refreshes the deadline.
+	c.Put("a", val("y"))
+	now = now.Add(30 * time.Second)
+	if v, ok := c.Get("a"); !ok || string(v.Body) != "y" {
+		t.Fatalf("refreshed entry: %q, %v", v.Body, ok)
+	}
+}
+
+func TestCacheUpdateExistingKey(t *testing.T) {
+	c := NewCache(1<<20, 0)
+	c.Put("a", val("short"))
+	c.Put("a", val("a rather longer body than before"))
+	v, ok := c.Get("a")
+	if !ok || string(v.Body) != "a rather longer body than before" {
+		t.Fatalf("update lost: %q %v", v.Body, ok)
+	}
+	st := c.Stats()
+	if st.Entries != 1 {
+		t.Fatalf("entries = %d, want 1", st.Entries)
+	}
+	want := val("a rather longer body than before").size()
+	if st.Bytes != want {
+		t.Fatalf("bytes = %d, want %d (no stale accounting)", st.Bytes, want)
+	}
+}

@@ -1,0 +1,167 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestEndToEndDaemon boots the real daemon (real backend, real
+// synthesis engine) on an ephemeral port and exercises the acceptance
+// path: two identical /v1/table1 requests (second must be a cache hit
+// with byte-identical JSON), one /v1/mc, one /v1/layout.svg, then a
+// graceful shutdown with a request still in flight.
+func TestEndToEndDaemon(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end daemon test runs real synthesis")
+	}
+	srv := New(Config{})
+	hs := &http.Server{Handler: srv.Handler()}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go hs.Serve(ln)
+	base := "http://" + ln.Addr().String()
+
+	postRaw := func(path, body string) (*http.Response, []byte, error) {
+		resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			return nil, nil, err
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		return resp, data, err
+	}
+	mustPost := func(path, body string) (*http.Response, []byte) {
+		t.Helper()
+		resp, data, err := postRaw(path, body)
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST %s: status %d: %s", path, resp.StatusCode, data)
+		}
+		return resp, data
+	}
+
+	// Two identical table1 requests: cold then byte-identical cache hit.
+	r1, b1 := mustPost("/v1/table1", "")
+	if h := r1.Header.Get("X-Loas-Cache"); h != "miss" {
+		t.Fatalf("first table1 X-Loas-Cache = %q, want miss", h)
+	}
+	var rep struct {
+		Rows []struct {
+			Case   int `json:"case"`
+			Result struct {
+				LayoutCalls int `json:"layout_calls"`
+			} `json:"result"`
+		} `json:"rows"`
+		ShapeViolations []string `json:"shape_violations"`
+	}
+	if err := json.Unmarshal(b1, &rep); err != nil {
+		t.Fatalf("table1 response is not valid JSON: %v", err)
+	}
+	if len(rep.Rows) != 4 {
+		t.Fatalf("table1 rows = %d, want 4", len(rep.Rows))
+	}
+	if len(rep.ShapeViolations) != 0 {
+		t.Fatalf("table1 shape violations over HTTP: %v", rep.ShapeViolations)
+	}
+
+	r2, b2 := mustPost("/v1/table1", "")
+	if h := r2.Header.Get("X-Loas-Cache"); h != "hit" {
+		t.Fatalf("second table1 X-Loas-Cache = %q, want hit", h)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("cache hit is not byte-identical to the cold response")
+	}
+
+	// The hit must be visible in /stats.
+	resp, err := http.Get(base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("stats decode: %v", err)
+	}
+	if st.Cache.Hits < 1 {
+		t.Fatalf("stats cache hits = %d, want >= 1 after the repeated table1", st.Cache.Hits)
+	}
+
+	// Monte-Carlo over HTTP.
+	_, mcBody := mustPost("/v1/mc", `{"n":2,"seed":7}`)
+	var mcRep MCReport
+	if err := json.Unmarshal(mcBody, &mcRep); err != nil {
+		t.Fatalf("mc response: %v", err)
+	}
+	if mcRep.Stats.N+mcRep.Stats.Failures != 2 {
+		t.Fatalf("mc samples = %d + %d failures, want 2 total", mcRep.Stats.N, mcRep.Stats.Failures)
+	}
+	if mcRep.AnalyticSigmaV <= 0 {
+		t.Fatal("mc analytic estimate missing")
+	}
+
+	// Case-4 generate-mode layout as SVG.
+	resp, err = http.Get(base + "/v1/layout.svg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("layout.svg: status %d, err %v", resp.StatusCode, err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "image/svg+xml" {
+		t.Fatalf("layout.svg content type %q", ct)
+	}
+	if !bytes.HasPrefix(svg, []byte("<svg")) || !bytes.Contains(svg, []byte("</svg>")) {
+		t.Fatalf("layout.svg is not an SVG document (%d bytes)", len(svg))
+	}
+
+	// Graceful shutdown with a request in flight: launch a cold
+	// synthesis, wait for it to reach the backend, then Shutdown — the
+	// request must still complete with 200.
+	type result struct {
+		status int
+		err    error
+	}
+	inFlight := make(chan result, 1)
+	go func() {
+		resp, data, err := postRaw("/v1/synthesize", `{"case":1}`)
+		if err != nil {
+			inFlight <- result{0, err}
+			return
+		}
+		_ = data
+		inFlight <- result{resp.StatusCode, nil}
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.Stats().BackendRuns < 4 { // table1, mc, layout already ran; wait for the 4th to start
+		if time.Now().After(deadline) {
+			t.Fatal("in-flight synthesize never reached the backend")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	sctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		t.Fatalf("graceful shutdown did not drain: %v", err)
+	}
+	srv.Close()
+
+	got := <-inFlight
+	if got.err != nil || got.status != http.StatusOK {
+		t.Fatalf("in-flight request during shutdown: status %d, err %v", got.status, got.err)
+	}
+}

@@ -1,0 +1,57 @@
+package serve
+
+import "sync"
+
+// Flight deduplicates concurrent work on the same cache key
+// (singleflight): the first caller for a key becomes the leader and
+// computes; every caller that arrives while the leader is in flight
+// waits and shares the leader's result. N concurrent identical
+// synthesis requests therefore cost exactly one synthesis.
+type Flight struct {
+	mu     sync.Mutex
+	calls  map[string]*flightCall
+	joined int64 // callers that shared a leader's result
+}
+
+type flightCall struct {
+	wg  sync.WaitGroup
+	val Value
+	err error
+}
+
+// NewFlight builds an empty flight group.
+func NewFlight() *Flight {
+	return &Flight{calls: make(map[string]*flightCall)}
+}
+
+// Do runs fn for key, collapsing concurrent duplicates. The returned
+// bool reports whether this caller shared another caller's in-flight
+// result rather than computing its own.
+func (f *Flight) Do(key string, fn func() (Value, error)) (Value, error, bool) {
+	f.mu.Lock()
+	if c, ok := f.calls[key]; ok {
+		f.joined++
+		f.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err, true
+	}
+	c := &flightCall{}
+	c.wg.Add(1)
+	f.calls[key] = c
+	f.mu.Unlock()
+
+	c.val, c.err = fn()
+	c.wg.Done()
+
+	f.mu.Lock()
+	delete(f.calls, key)
+	f.mu.Unlock()
+	return c.val, c.err, false
+}
+
+// Joined reports how many callers shared an in-flight result so far.
+func (f *Flight) Joined() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.joined
+}

@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"strconv"
+	"strings"
+
+	"loas/internal/sizing"
+	"loas/internal/techno"
+)
+
+// Content-addressed request keys.
+//
+// A request is hashed to a key by a canonical, deterministic encoding:
+// fields are emitted in a fixed order chosen by the code (never by map
+// iteration or client JSON field order), floats are rendered with
+// strconv 'x' formatting (exact bit pattern, so 65e6 and 6.5e7 collide
+// and 65e6+1ulp does not), and the technology is identified by its name
+// and temperature (cards are frozen after construction — DESIGN.md §4 —
+// so the name pins the numbers). Anything that cannot change the bytes
+// of the response is deliberately *excluded*: worker counts (the engine
+// is worker-invariant by construction), timeouts, and transport
+// details. Two requests with the same key may therefore share one
+// synthesis and one cache slot.
+
+type keyBuilder struct {
+	b strings.Builder
+}
+
+func newKey(kind string, tech *techno.Tech) *keyBuilder {
+	k := &keyBuilder{}
+	k.b.WriteString("loas/1|kind=")
+	k.b.WriteString(kind)
+	k.b.WriteString("|tech=")
+	k.b.WriteString(tech.Name)
+	k.num("temp", tech.Temp)
+	return k
+}
+
+func (k *keyBuilder) num(name string, v float64) {
+	k.b.WriteByte('|')
+	k.b.WriteString(name)
+	k.b.WriteByte('=')
+	k.b.WriteString(strconv.FormatFloat(v, 'x', -1, 64))
+}
+
+func (k *keyBuilder) int(name string, v int64) {
+	k.b.WriteByte('|')
+	k.b.WriteString(name)
+	k.b.WriteByte('=')
+	k.b.WriteString(strconv.FormatInt(v, 10))
+}
+
+func (k *keyBuilder) bool(name string, v bool) {
+	k.b.WriteByte('|')
+	k.b.WriteString(name)
+	k.b.WriteByte('=')
+	k.b.WriteString(strconv.FormatBool(v))
+}
+
+func (k *keyBuilder) spec(s sizing.OTASpec) {
+	k.num("vdd", s.VDD)
+	k.num("gbw", s.GBW)
+	k.num("pm", s.PM)
+	k.num("cl", s.CL)
+	k.num("icml", s.ICMLow)
+	k.num("icmh", s.ICMHigh)
+	k.num("outl", s.OutLow)
+	k.num("outh", s.OutHigh)
+}
+
+// sum finishes the canonical encoding and returns the hex SHA-256.
+func (k *keyBuilder) sum() string {
+	h := sha256.Sum256([]byte(k.b.String()))
+	return hex.EncodeToString(h[:])
+}

@@ -1,0 +1,356 @@
+// Package serve exposes the synthesis engine as a long-running HTTP
+// daemon (the loasd binary). The paper's pitch is wall-clock — its loop
+// beats the traditional extract-and-simulate flow — and a service
+// amortizes that cost further: every result is stored in a
+// content-addressed LRU cache, concurrent identical requests collapse
+// into one synthesis (singleflight), and the work itself runs on a
+// bounded job queue so the daemon sheds load instead of melting.
+//
+// Endpoints:
+//
+//	POST /v1/synthesize   one Table-1 case            → core.Summary JSON
+//	POST /v1/table1       all four cases              → repro.Table1Report JSON
+//	POST /v1/mc           mismatch Monte-Carlo        → MCReport JSON
+//	GET  /v1/layout.svg   case-4 generate-mode layout → SVG
+//	GET  /healthz         liveness
+//	GET  /stats           cache + queue + latency counters (also expvar)
+//
+// Cached responses are replayed verbatim, so a hit is byte-identical to
+// the response that populated it; the X-Loas-Cache header reports
+// hit | miss | dedup.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"loas/internal/parallel"
+	"loas/internal/sizing"
+	"loas/internal/techno"
+)
+
+// expvar mirrors of the per-server counters, aggregated across every
+// Server in the process (expvar registration is global and permanent,
+// so these live at package level).
+var (
+	evRequests    = expvar.NewInt("loasd.requests")
+	evErrors      = expvar.NewInt("loasd.errors")
+	evCacheHits   = expvar.NewInt("loasd.cache_hits")
+	evCacheMisses = expvar.NewInt("loasd.cache_misses")
+	evDedupJoined = expvar.NewInt("loasd.dedup_joined")
+	evBackendRuns = expvar.NewInt("loasd.backend_runs")
+)
+
+// Config sizes the server. Zero values mean defaults; CacheBytes < 0
+// disables the cache, TTL <= 0 disables expiry.
+type Config struct {
+	Tech       *techno.Tech    // default techno.Default060()
+	Spec       *sizing.OTASpec // default spec for requests that omit one (paper's 65 MHz)
+	CacheBytes int64           // default 64 MiB
+	TTL        time.Duration   // default: entries never expire
+	Workers    int             // synthesis workers, default GOMAXPROCS
+	QueueDepth int             // queued jobs beyond the workers; default 64, < 0 = none
+	Timeout    time.Duration   // per-job wall-clock bound, default 5 min
+	Backend    Backend         // default StdBackend over Tech
+}
+
+// Server is the HTTP synthesis service. Create with New, expose
+// Handler() behind an http.Server, and Close() to drain.
+type Server struct {
+	tech    *techno.Tech
+	spec    sizing.OTASpec
+	timeout time.Duration
+	backend Backend
+
+	cache  *Cache
+	flight *Flight
+	pool   *parallel.Pool
+	mux    *http.ServeMux
+
+	requests    atomic.Int64
+	errs        atomic.Int64
+	backendRuns atomic.Int64
+	latencyNS   atomic.Int64
+	served      atomic.Int64
+}
+
+// New builds a server from the config and starts its worker pool.
+func New(cfg Config) *Server {
+	if cfg.Tech == nil {
+		cfg.Tech = techno.Default060()
+	}
+	spec := sizing.Default65MHz()
+	if cfg.Spec != nil {
+		spec = *cfg.Spec
+	}
+	if cfg.CacheBytes == 0 {
+		cfg.CacheBytes = 64 << 20
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 5 * time.Minute
+	}
+	if cfg.Backend == nil {
+		cfg.Backend = &StdBackend{Tech: cfg.Tech}
+	}
+	s := &Server{
+		tech:    cfg.Tech,
+		spec:    spec,
+		timeout: cfg.Timeout,
+		backend: cfg.Backend,
+		cache:   NewCache(cfg.CacheBytes, cfg.TTL),
+		flight:  NewFlight(),
+		pool:    parallel.NewPool(cfg.Workers, cfg.QueueDepth),
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/synthesize", s.handleSynthesize)
+	s.mux.HandleFunc("POST /v1/table1", s.handleTable1)
+	s.mux.HandleFunc("POST /v1/mc", s.handleMC)
+	s.mux.HandleFunc("GET /v1/layout.svg", s.handleLayoutSVG)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	return s
+}
+
+// Handler returns the routed HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close drains the job queue: queued and in-flight synthesis runs
+// complete, new work is rejected. Call after http.Server.Shutdown so
+// in-flight HTTP requests get their results first.
+func (s *Server) Close() { s.pool.Close() }
+
+// Stats is the /stats payload.
+type Stats struct {
+	Requests     int64              `json:"requests"`
+	Served       int64              `json:"served"`
+	Errors       int64              `json:"errors"`
+	AvgLatencyMS float64            `json:"avg_latency_ms"`
+	BackendRuns  int64              `json:"backend_runs"`
+	DedupJoined  int64              `json:"dedup_joined"`
+	Cache        CacheStats         `json:"cache"`
+	Queue        parallel.PoolStats `json:"queue"`
+}
+
+// Stats snapshots the server counters.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		Requests:    s.requests.Load(),
+		Served:      s.served.Load(),
+		Errors:      s.errs.Load(),
+		BackendRuns: s.backendRuns.Load(),
+		DedupJoined: s.flight.Joined(),
+		Cache:       s.cache.Stats(),
+		Queue:       s.pool.Stats(),
+	}
+	if st.Served > 0 {
+		st.AvgLatencyMS = float64(s.latencyNS.Load()) / float64(st.Served) / 1e6
+	}
+	return st
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	body, err := marshalJSON(s.Stats())
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}
+
+func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
+	var req SynthesizeRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	if err := req.normalize(); err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	spec, err := s.specFor(req.Spec)
+	if err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	s.respond(w, req.cacheKey(s.tech, spec), "application/json",
+		func(ctx context.Context) ([]byte, error) {
+			return s.backend.Synthesize(ctx, spec, &req)
+		})
+}
+
+func (s *Server) handleTable1(w http.ResponseWriter, r *http.Request) {
+	var req Table1Request
+	if err := decodeJSON(r, &req); err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	spec, err := s.specFor(req.Spec)
+	if err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	s.respond(w, req.cacheKey(s.tech, spec), "application/json",
+		func(ctx context.Context) ([]byte, error) {
+			return s.backend.Table1(ctx, spec)
+		})
+}
+
+func (s *Server) handleMC(w http.ResponseWriter, r *http.Request) {
+	var req MCRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	if err := req.normalize(); err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	spec, err := s.specFor(req.Spec)
+	if err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	s.respond(w, req.cacheKey(s.tech, spec), "application/json",
+		func(ctx context.Context) ([]byte, error) {
+			return s.backend.MC(ctx, spec, &req)
+		})
+}
+
+func (s *Server) handleLayoutSVG(w http.ResponseWriter, _ *http.Request) {
+	spec := s.spec
+	s.respond(w, layoutCacheKey(s.tech, spec), "image/svg+xml",
+		func(ctx context.Context) ([]byte, error) {
+			return s.backend.LayoutSVG(ctx, spec)
+		})
+}
+
+// respond is the one path every result endpoint takes:
+// cache → singleflight → bounded queue → backend → cache.
+func (s *Server) respond(w http.ResponseWriter, key, contentType string,
+	compute func(context.Context) ([]byte, error)) {
+	start := time.Now()
+	s.requests.Add(1)
+	evRequests.Add(1)
+
+	if v, ok := s.cache.Get(key); ok {
+		evCacheHits.Add(1)
+		s.write(w, v, "hit", start)
+		return
+	}
+	evCacheMisses.Add(1)
+
+	v, err, shared := s.flight.Do(key, func() (Value, error) {
+		// Leader: run under the daemon's own lifetime, not the first
+		// client's — if that client disconnects, joiners and the cache
+		// still get the result.
+		ctx, cancel := context.WithTimeout(context.Background(), s.timeout)
+		defer cancel()
+		var out Value
+		err := s.pool.Submit(ctx, func(ctx context.Context) error {
+			s.backendRuns.Add(1)
+			evBackendRuns.Add(1)
+			body, cErr := compute(ctx)
+			if cErr != nil {
+				return cErr
+			}
+			out = Value{Body: body, ContentType: contentType}
+			s.cache.Put(key, out)
+			return nil
+		})
+		if err != nil {
+			return Value{}, err
+		}
+		return out, nil
+	})
+	if shared {
+		evDedupJoined.Add(1)
+	}
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	src := "miss"
+	if shared {
+		src = "dedup"
+	}
+	s.write(w, v, src, start)
+}
+
+func (s *Server) write(w http.ResponseWriter, v Value, src string, start time.Time) {
+	w.Header().Set("Content-Type", v.ContentType)
+	w.Header().Set("X-Loas-Cache", src)
+	w.Write(v.Body)
+	s.latencyNS.Add(time.Since(start).Nanoseconds())
+	s.served.Add(1)
+}
+
+func (s *Server) badRequest(w http.ResponseWriter, err error) {
+	s.requests.Add(1)
+	evRequests.Add(1)
+	s.errorBody(w, http.StatusBadRequest, err)
+}
+
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, parallel.ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		s.errorBody(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, parallel.ErrPoolClosed):
+		s.errorBody(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		s.errorBody(w, http.StatusGatewayTimeout, err)
+	default:
+		s.errorBody(w, http.StatusInternalServerError, err)
+	}
+}
+
+func (s *Server) errorBody(w http.ResponseWriter, code int, err error) {
+	s.errs.Add(1)
+	evErrors.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// specFor resolves a request's optional spec override against the
+// server default and validates it.
+func (s *Server) specFor(o *sizing.OTASpec) (sizing.OTASpec, error) {
+	spec := s.spec
+	if o != nil {
+		spec = *o
+	}
+	if spec.VDD <= 0 || spec.GBW <= 0 || spec.CL <= 0 || spec.PM <= 0 {
+		return spec, fmt.Errorf("spec requires positive vdd, gbw, pm, cl (got vdd=%g gbw=%g pm=%g cl=%g)",
+			spec.VDD, spec.GBW, spec.PM, spec.CL)
+	}
+	return spec, nil
+}
+
+// decodeJSON reads a request body strictly (unknown fields are errors —
+// a typo must not silently become a different cache key); an empty body
+// selects the defaults.
+func decodeJSON(r *http.Request, dst any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	err := dec.Decode(dst)
+	if err == nil || errors.Is(err, io.EOF) {
+		return nil
+	}
+	return fmt.Errorf("bad request body: %w", err)
+}

@@ -1,0 +1,272 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"loas/internal/sizing"
+)
+
+// stubBackend counts invocations and returns canned bodies, so the
+// cache/dedup/queue behaviour can be pinned down without paying for
+// real synthesis.
+type stubBackend struct {
+	calls   atomic.Int64
+	delay   time.Duration
+	started chan struct{} // closed-once signal that a call began (optional)
+	release chan struct{} // if non-nil, calls block until it closes
+	once    sync.Once
+}
+
+func (b *stubBackend) do(kind string) ([]byte, error) {
+	n := b.calls.Add(1)
+	if b.started != nil {
+		b.once.Do(func() { close(b.started) })
+	}
+	if b.release != nil {
+		<-b.release
+	}
+	time.Sleep(b.delay)
+	return []byte(fmt.Sprintf("{\"kind\":%q,\"call\":%d}\n", kind, n)), nil
+}
+
+func (b *stubBackend) Synthesize(_ context.Context, _ sizing.OTASpec, req *SynthesizeRequest) ([]byte, error) {
+	return b.do(fmt.Sprintf("synthesize-%d", req.Case))
+}
+func (b *stubBackend) Table1(context.Context, sizing.OTASpec) ([]byte, error) {
+	return b.do("table1")
+}
+func (b *stubBackend) MC(_ context.Context, _ sizing.OTASpec, req *MCRequest) ([]byte, error) {
+	return b.do(fmt.Sprintf("mc-%d", req.N))
+}
+func (b *stubBackend) LayoutSVG(context.Context, sizing.OTASpec) ([]byte, error) {
+	return b.do("layout")
+}
+
+func newStubServer(t *testing.T, cfg Config, b Backend) (*Server, *httptest.Server) {
+	t.Helper()
+	cfg.Backend = b
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return s, ts
+}
+
+func post(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp, data
+}
+
+// TestDedupConcurrentIdenticalRequests is the singleflight contract: N
+// concurrent identical requests cost exactly one backend synthesis.
+func TestDedupConcurrentIdenticalRequests(t *testing.T) {
+	stub := &stubBackend{started: make(chan struct{}), release: make(chan struct{})}
+	s, ts := newStubServer(t, Config{}, stub)
+
+	const n = 8
+	bodies := make([][]byte, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, data := post(t, ts.URL+"/v1/synthesize", `{"case":3}`)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("status %d: %s", resp.StatusCode, data)
+			}
+			bodies[i] = data
+		}(i)
+	}
+	// Hold the leader inside the backend until every other request has
+	// joined its flight, so all n provably overlapped.
+	<-stub.started
+	deadline := time.Now().Add(10 * time.Second)
+	for s.flight.Joined() < n-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d joined the flight", s.flight.Joined(), n-1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(stub.release)
+	wg.Wait()
+
+	if got := stub.calls.Load(); got != 1 {
+		t.Fatalf("backend ran %d times for %d identical concurrent requests, want 1", got, n)
+	}
+	for i := 1; i < n; i++ {
+		if !bytes.Equal(bodies[0], bodies[i]) {
+			t.Fatalf("response %d differs: %s vs %s", i, bodies[i], bodies[0])
+		}
+	}
+	st := s.Stats()
+	if st.BackendRuns != 1 {
+		t.Fatalf("stats backend runs = %d, want 1", st.BackendRuns)
+	}
+	if st.DedupJoined != n-1 || st.Cache.Hits != 0 {
+		t.Fatalf("dedup %d (want %d), hits %d (want 0)", st.DedupJoined, n-1, st.Cache.Hits)
+	}
+}
+
+func TestCacheHitReplaysBytes(t *testing.T) {
+	stub := &stubBackend{}
+	s, ts := newStubServer(t, Config{}, stub)
+
+	_, cold := post(t, ts.URL+"/v1/mc", `{"n":4,"seed":9}`)
+	resp, warm := post(t, ts.URL+"/v1/mc", `{"n":4,"seed":9}`)
+	if !bytes.Equal(cold, warm) {
+		t.Fatalf("cache replay differs: %q vs %q", cold, warm)
+	}
+	if h := resp.Header.Get("X-Loas-Cache"); h != "hit" {
+		t.Fatalf("X-Loas-Cache = %q, want hit", h)
+	}
+	if stub.calls.Load() != 1 {
+		t.Fatalf("backend calls = %d, want 1", stub.calls.Load())
+	}
+	// A different seed is a different content address.
+	post(t, ts.URL+"/v1/mc", `{"n":4,"seed":10}`)
+	if stub.calls.Load() != 2 {
+		t.Fatalf("distinct request should miss, calls = %d", stub.calls.Load())
+	}
+	if st := s.Stats(); st.Cache.Hits != 1 || st.Cache.Misses != 2 {
+		t.Fatalf("cache stats = %+v", st.Cache)
+	}
+}
+
+// TestWorkersExcludedFromKey: worker count tunes execution, not the
+// result (the engine is worker-invariant), so it must share the cache
+// slot.
+func TestWorkersExcludedFromKey(t *testing.T) {
+	stub := &stubBackend{}
+	_, ts := newStubServer(t, Config{}, stub)
+	post(t, ts.URL+"/v1/mc", `{"n":4,"seed":9,"workers":1}`)
+	resp, _ := post(t, ts.URL+"/v1/mc", `{"n":4,"seed":9,"workers":7}`)
+	if h := resp.Header.Get("X-Loas-Cache"); h != "hit" {
+		t.Fatalf("worker count changed the cache key (X-Loas-Cache = %q)", h)
+	}
+	if stub.calls.Load() != 1 {
+		t.Fatalf("calls = %d, want 1", stub.calls.Load())
+	}
+}
+
+func TestQueueFullShedsLoad(t *testing.T) {
+	stub := &stubBackend{started: make(chan struct{}), release: make(chan struct{})}
+	_, ts := newStubServer(t, Config{Workers: 1, QueueDepth: -1}, stub)
+
+	// Occupy the only worker.
+	firstDone := make(chan struct{})
+	go func() {
+		defer close(firstDone)
+		resp, _ := post(t, ts.URL+"/v1/synthesize", `{"case":1}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("first request status %d", resp.StatusCode)
+		}
+	}()
+	<-stub.started
+
+	// A different key cannot queue: 503.
+	resp, data := post(t, ts.URL+"/v1/synthesize", `{"case":2}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d (%s), want 503", resp.StatusCode, data)
+	}
+	close(stub.release)
+	<-firstDone
+}
+
+func TestBadRequests(t *testing.T) {
+	stub := &stubBackend{}
+	_, ts := newStubServer(t, Config{}, stub)
+	for _, tc := range []struct{ path, body string }{
+		{"/v1/synthesize", `{"case":9}`},
+		{"/v1/synthesize", `{"unknown_field":1}`},
+		{"/v1/mc", `{"n":-4}`},
+		{"/v1/table1", `{"spec":{"vdd":-1}}`},
+		{"/v1/synthesize", `not json`},
+	} {
+		resp, data := post(t, ts.URL+tc.path, tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s %s: status %d (%s), want 400", tc.path, tc.body, resp.StatusCode, data)
+		}
+	}
+	if stub.calls.Load() != 0 {
+		t.Fatalf("bad requests reached the backend %d times", stub.calls.Load())
+	}
+}
+
+func TestStatsAndHealthz(t *testing.T) {
+	stub := &stubBackend{}
+	_, ts := newStubServer(t, Config{}, stub)
+	post(t, ts.URL+"/v1/synthesize", `{}`)
+	post(t, ts.URL+"/v1/synthesize", `{}`)
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", err, resp)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("stats decode: %v", err)
+	}
+	if st.Requests != 2 || st.BackendRuns != 1 || st.Cache.Hits != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Queue.Workers <= 0 {
+		t.Fatalf("queue stats missing: %+v", st.Queue)
+	}
+}
+
+// TestShutdownWithRequestsInFlight drives traffic while the pool is
+// closed under it; with `go test -race` this doubles as the data-race
+// gate on the shutdown path. Accepted requests complete, later ones
+// are shed with 503.
+func TestShutdownWithRequestsInFlight(t *testing.T) {
+	stub := &stubBackend{delay: 20 * time.Millisecond}
+	s := New(Config{Backend: stub, Workers: 2, QueueDepth: 4})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, data := post(t, ts.URL+"/v1/mc", fmt.Sprintf(`{"n":%d}`, i+1))
+			if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+				t.Errorf("in-flight shutdown: status %d (%s)", resp.StatusCode, data)
+			}
+		}(i)
+	}
+	time.Sleep(5 * time.Millisecond)
+	s.Close() // drains accepted jobs, rejects the rest
+	wg.Wait()
+
+	st := s.Stats()
+	if st.Queue.Depth != 0 {
+		t.Fatalf("queue not drained: %+v", st.Queue)
+	}
+}

@@ -221,7 +221,7 @@ func (d *FiveT) Layout() *cairo.Design {
 		W: d.Devices[MF5].W, L: d.Devices[MF5].L,
 		Style:    device.DrainInternal,
 		DrainNet: NetTail, GateNet: NetVBP, SourceNet: NetVDD, BulkNet: NetVDD,
-		IDrain:   d.Itail, MaxFolds: 8, EvenOnly: true,
+		IDrain: d.Itail, MaxFolds: 8, EvenOnly: true,
 	}
 	return &cairo.Design{
 		Name:    "five-transistor-ota",

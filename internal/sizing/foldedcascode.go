@@ -10,17 +10,17 @@ import (
 
 // Device names follow the paper's Fig. 4.
 const (
-	MP1 = "MP1" // input pair +
-	MP2 = "MP2" // input pair −
-	MP5 = "MP5" // tail current source
-	MP3 = "MP3" // top current source, mirror side
-	MP4 = "MP4" // top current source, output side
+	MP1  = "MP1" // input pair +
+	MP2  = "MP2" // input pair −
+	MP5  = "MP5" // tail current source
+	MP3  = "MP3" // top current source, mirror side
+	MP4  = "MP4" // top current source, output side
 	MP3C = "MP3C"
 	MP4C = "MP4C"
 	MN1C = "MN1C"
 	MN2C = "MN2C"
-	MN5 = "MN5" // bottom sink, mirror side
-	MN6 = "MN6" // bottom sink, output side
+	MN5  = "MN5" // bottom sink, mirror side
+	MN6  = "MN6" // bottom sink, output side
 )
 
 // Net names of the folded-cascode OTA.
@@ -84,9 +84,9 @@ type plan struct {
 	ratio                    float64 // Icasc / Itail
 	gbwBoost                 float64 // gm over-design vs the analytic load estimate
 
-	d                *FoldedCascode
-	iters            int
-	lastGBW, lastPM  float64 // from the simulated evaluation
+	d               *FoldedCascode
+	iters           int
+	lastGBW, lastPM float64 // from the simulated evaluation
 }
 
 // SizeFoldedCascode runs the design plan. The paper's procedure: fix

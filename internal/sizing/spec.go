@@ -24,14 +24,16 @@ import (
 // OTASpec is the performance specification of an operational
 // transconductance amplifier (the paper's §5 inputs).
 type OTASpec struct {
-	VDD float64 // supply (V)
-	GBW float64 // gain-bandwidth product (Hz)
-	PM  float64 // phase margin (degrees)
-	CL  float64 // load capacitance (F)
+	VDD float64 `json:"vdd"` // supply (V)
+	GBW float64 `json:"gbw"` // gain-bandwidth product (Hz)
+	PM  float64 `json:"pm"`  // phase margin (degrees)
+	CL  float64 `json:"cl"`  // load capacitance (F)
 	// Input common-mode range (V).
-	ICMLow, ICMHigh float64
+	ICMLow  float64 `json:"icm_low"`
+	ICMHigh float64 `json:"icm_high"`
 	// Output voltage range (V).
-	OutLow, OutHigh float64
+	OutLow  float64 `json:"out_low"`
+	OutHigh float64 `json:"out_high"`
 }
 
 // Default65MHz reproduces the paper's example specification: VDD = 3.3 V,
@@ -47,17 +49,17 @@ func Default65MHz() OTASpec {
 
 // Performance carries the eleven rows of the paper's Table 1, in SI units.
 type Performance struct {
-	DCGainDB  float64
-	GBW       float64 // Hz
-	PhaseDeg  float64
-	SlewRate  float64 // V/s
-	CMRRDB    float64
-	Offset    float64 // V (input referred)
-	Rout      float64 // Ω
-	NoiseRMS  float64 // V, input referred, integrated 1 Hz … GBW
-	NoiseTh   float64 // V/√Hz, white plateau
-	NoiseFl1  float64 // V/√Hz at 1 Hz
-	Power     float64 // W
+	DCGainDB float64 `json:"dc_gain_db"`
+	GBW      float64 `json:"gbw_hz"`
+	PhaseDeg float64 `json:"phase_margin_deg"`
+	SlewRate float64 `json:"slew_rate_v_per_s"`
+	CMRRDB   float64 `json:"cmrr_db"`
+	Offset   float64 `json:"offset_v"`                 // V (input referred)
+	Rout     float64 `json:"rout_ohm"`                 // Ω
+	NoiseRMS float64 `json:"noise_rms_v"`              // V, input referred, integrated 1 Hz … GBW
+	NoiseTh  float64 `json:"noise_thermal_v_rthz"`     // V/√Hz, white plateau
+	NoiseFl1 float64 `json:"noise_flicker_1hz_v_rthz"` // V/√Hz at 1 Hz
+	Power    float64 `json:"power_w"`
 }
 
 // Row formats one spec-vs-measured pair the way Table 1 prints them.

@@ -17,9 +17,9 @@ import (
 
 // GmIDPoint is one point of the gm/ID design chart.
 type GmIDPoint struct {
-	VGS    float64 // V
-	ID     float64 // A (for the reference geometry)
-	GmID   float64 // 1/V
+	VGS     float64 // V
+	ID      float64 // A (for the reference geometry)
+	GmID    float64 // 1/V
 	GmRatio float64 // gm/gds at the same bias
 }
 

@@ -258,7 +258,7 @@ func Default060() *Tech {
 			PB:         0.90,
 			KF:         3.0e-28,
 			AF:         1.0,
-			AVT:        11e-9,   // 11 mV·µm, typical 0.6 µm NMOS
+			AVT:        11e-9,    // 11 mV·µm, typical 0.6 µm NMOS
 			ABeta:      0.018e-6, // 1.8 %·µm
 			NoiseGamma: 2.0 / 3.0,
 		},
@@ -282,7 +282,7 @@ func Default060() *Tech {
 			PB:         0.95,
 			KF:         1.0e-28, // buried-channel PMOS: less 1/f noise
 			AF:         1.0,
-			AVT:        13e-9,    // PMOS matches slightly worse
+			AVT:        13e-9, // PMOS matches slightly worse
 			ABeta:      0.022e-6,
 			NoiseGamma: 2.0 / 3.0,
 		},
