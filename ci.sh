@@ -11,4 +11,18 @@ test -z "$(gofmt -l .)"
 go vet ./...
 go build ./...
 go build ./cmd/...
-go test -race ./...
+
+# Race lane doubles as the coverage gate: total statement coverage must
+# not sink below the floor (the suite sits near 84% — the floor trips on
+# regressions, not noise).
+COVER_FLOOR=82.0
+go test -race -coverprofile=cover.out ./...
+total=$(go tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $3); print $3}')
+rm -f cover.out
+awk -v t="$total" -v f="$COVER_FLOOR" 'BEGIN {
+    if (t + 0 < f + 0) { printf "coverage %.1f%% below floor %.1f%%\n", t, f; exit 1 }
+    printf "coverage %.1f%% (floor %.1f%%)\n", t, f
+}'
+
+# Brief fuzz run of the canonical-key corpus under the race detector.
+go test -race -run '^$' -fuzz FuzzCanonicalKey -fuzztime 5s ./internal/serve

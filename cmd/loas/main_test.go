@@ -110,6 +110,36 @@ func TestSmokeConverge(t *testing.T) {
 	runOut(t, "converge")
 }
 
+func TestSmokeTrace(t *testing.T) {
+	out := runOut(t, "trace")
+	for _, want := range []string{"Parasitic convergence", "layout calls", "converged"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trace output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSmokeTraceJSON(t *testing.T) {
+	out := runOut(t, "trace", "-json", "-case", "4")
+	var rep struct {
+		Case       int  `json:"case"`
+		Converged  bool `json:"converged"`
+		Iterations []struct {
+			Call   int     `json:"call"`
+			DeltaF float64 `json:"delta_f"`
+		} `json:"iterations"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("trace -json not parseable: %v\n%s", err, out)
+	}
+	if rep.Case != 4 || !rep.Converged || len(rep.Iterations) < 2 {
+		t.Fatalf("trace report implausible: %+v", rep)
+	}
+	if rep.Iterations[0].DeltaF != -1 {
+		t.Fatalf("first iteration delta = %g, want -1 sentinel", rep.Iterations[0].DeltaF)
+	}
+}
+
 func TestSmokeFig5(t *testing.T) {
 	if testing.Short() {
 		t.Skip("fig5 runs a full case-4 synthesis")

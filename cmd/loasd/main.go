@@ -1,14 +1,18 @@
 // Command loasd serves the layout-oriented synthesis engine over HTTP:
 // a content-addressed result cache, in-flight deduplication of
 // identical requests, and a bounded synthesis job queue in front of the
-// core loop. See internal/serve for the endpoint list and `loasd -h`
-// for the flags.
+// core loop. Observability rides along: Prometheus-format metrics at
+// /metrics, per-request convergence traces at /v1/trace/{key} (the key
+// is echoed in the X-Loas-Key response header), and pprof under
+// /debug/pprof when started with -pprof. See internal/serve for the
+// endpoint list and `loasd -h` for the flags.
 //
 // Quickstart:
 //
 //	loasd -addr 127.0.0.1:8086 &
 //	curl -s -X POST http://127.0.0.1:8086/v1/table1 | head
 //	curl -s http://127.0.0.1:8086/stats
+//	curl -s http://127.0.0.1:8086/metrics | grep loas_
 package main
 
 import (

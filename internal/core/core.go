@@ -18,6 +18,7 @@ import (
 	"loas/internal/layout/cairo"
 	"loas/internal/layout/extract"
 	"loas/internal/meas"
+	"loas/internal/obs"
 	"loas/internal/sizing"
 	"loas/internal/techno"
 )
@@ -38,6 +39,10 @@ type Options struct {
 	// SkipVerify skips the extracted-netlist measurement (used by
 	// benchmarks that only exercise the loop).
 	SkipVerify bool
+	// Trace, when non-nil, receives each sizing↔layout iteration as it
+	// happens (live telemetry). The finished Result always carries the
+	// same events in Result.Trace regardless.
+	Trace *obs.Trace
 }
 
 func (o *Options) defaults() {
@@ -68,6 +73,12 @@ type Result struct {
 	SizingPasses int
 	Elapsed      time.Duration
 	ExtractedCkt *circuit.Circuit
+
+	// Trace holds one event per sizing↔layout iteration: parasitic
+	// delta, hot-net and total capacitances, fold count, design point
+	// and per-phase wall time — the observable form of the paper's
+	// convergence story.
+	Trace []obs.Iteration
 }
 
 // Synthesize runs the layout-oriented flow for the folded-cascode OTA.
@@ -91,33 +102,59 @@ func Synthesize(tech *techno.Tech, spec sizing.OTASpec, opts Options) (*Result, 
 
 	for call := 1; call <= opts.MaxLayoutCalls; call++ {
 		ps.Report = par
+		sizeStart := time.Now()
 		design, err = sizing.SizeFoldedCascode(tech, spec, ps)
 		if err != nil {
 			return nil, fmt.Errorf("core: sizing pass %d: %w", call, err)
 		}
+		sizingNS := time.Since(sizeStart).Nanoseconds()
 		res.SizingPasses++
 
+		layoutStart := time.Now()
 		plan, err := design.Layout().Plan(tech, opts.Shape)
 		if err != nil {
 			return nil, fmt.Errorf("core: layout call %d: %w", call, err)
 		}
+		layoutNS := time.Since(layoutStart).Nanoseconds()
 		res.LayoutCalls++
 		newPar := plan.Parasitics
 		newPar.LayoutCalls = res.LayoutCalls
 		res.Layout = plan
 
+		// Record the iteration before the convergence decision so the
+		// trace always covers every layout call, including the last.
+		delta := -1.0
+		if par != nil {
+			delta = extract.MaxDelta(par, newPar)
+		}
+		it := obs.Iteration{
+			Call:      call,
+			DeltaF:    delta,
+			OutCapF:   newPar.TotalNetCap(sizing.NetOut),
+			FN1CapF:   newPar.TotalNetCap(sizing.NetFN1),
+			TotalCapF: newPar.TotalCap(),
+			Folds:     newPar.TotalFolds(),
+			W1:        design.Devices[sizing.MP1].W,
+			Lc:        design.Lc,
+			Itail:     design.Itail,
+			SizingNS:  sizingNS,
+			LayoutNS:  layoutNS,
+		}
+		res.Trace = append(res.Trace, it)
+		opts.Trace.Record(it)
+
 		if !usesLayoutInfo {
 			par = newPar
 			break
 		}
-		if par != nil && extract.MaxDelta(par, newPar) < opts.ConvergeTolF {
+		if par != nil && delta < opts.ConvergeTolF {
 			par = newPar
 			break
 		}
 		par = newPar
 		if call == opts.MaxLayoutCalls {
 			return nil, fmt.Errorf("core: parasitics did not converge in %d layout calls (Δ = %.3g F)",
-				opts.MaxLayoutCalls, extract.MaxDelta(par, newPar))
+				opts.MaxLayoutCalls, delta)
 		}
 	}
 

@@ -8,6 +8,7 @@ import (
 	"loas/internal/layout/geom"
 	"loas/internal/layout/route"
 	"loas/internal/layout/slicing"
+	"loas/internal/obs"
 	"loas/internal/techno"
 )
 
@@ -123,9 +124,16 @@ func widenGaps(t *Tree, need int64) *Tree {
 	return &c
 }
 
+// layoutPlans counts layout-tool invocations process-wide — the
+// CAIRO-side half of the loasd /metrics convergence picture (plans per
+// synthesis ≈ the paper's "three calls of the layout tool").
+var layoutPlans = obs.Default.Counter("loas_layout_plans_total",
+	"layout plan/generate calls (area optimization + realization + extraction)")
+
 // Plan runs the flow: area optimization under the shape constraint,
 // module realization, routing, extraction.
 func (d *Design) Plan(tech *techno.Tech, c Constraint) (*Plan, error) {
+	layoutPlans.Inc()
 	cache := &buildCache{byModule: map[string]map[int]*Built{}}
 	need := d.channelNeedNM(tech)
 	root, err := d.slicingNode(tech, widenGaps(d.Tree, need), cache)

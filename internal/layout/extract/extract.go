@@ -55,14 +55,60 @@ func (p *Parasitics) TotalNetCap(net string) float64 {
 	return p.NetCap[net] + p.WellCap[net]
 }
 
-// CouplingTo sums coupling capacitance between net and every other net
-// (useful as a worst-case grounded approximation in hand evaluations).
-func (p *Parasitics) CouplingTo(net string) float64 {
+// TotalCap sums wiring + well capacitance over every net in the report —
+// the single scalar the convergence trace plots per layout call. Summed
+// in sorted net order so the float result is run-to-run reproducible.
+func (p *Parasitics) TotalCap() float64 {
 	var c float64
-	for pair, v := range p.Coupling {
+	for _, n := range sortedKeys(p.NetCap) {
+		c += p.NetCap[n]
+	}
+	for _, n := range sortedKeys(p.WellCap) {
+		c += p.WellCap[n]
+	}
+	return c
+}
+
+func sortedKeys(m map[string]float64) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// TotalFolds sums the gate-finger counts of the fold plan across all
+// devices (the trace's layout-style snapshot).
+func (p *Parasitics) TotalFolds() int {
+	var f int
+	for _, fp := range p.Folds {
+		f += fp.Folds
+	}
+	return f
+}
+
+// CouplingTo sums coupling capacitance between net and every other net
+// (the worst-case grounded approximation the sizing plan lumps onto a
+// node). Pairs are summed in sorted order: this sum feeds the sizing
+// evaluation, so its float result must not depend on map iteration
+// order.
+func (p *Parasitics) CouplingTo(net string) float64 {
+	var pairs []route.NetPair
+	for pair := range p.Coupling {
 		if pair.A == net || pair.B == net {
-			c += v
+			pairs = append(pairs, pair)
 		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].A != pairs[j].A {
+			return pairs[i].A < pairs[j].A
+		}
+		return pairs[i].B < pairs[j].B
+	})
+	var c float64
+	for _, pair := range pairs {
+		c += p.Coupling[pair]
 	}
 	return c
 }

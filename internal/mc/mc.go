@@ -20,6 +20,7 @@ import (
 
 	"loas/internal/circuit"
 	"loas/internal/layout/stack"
+	"loas/internal/obs"
 	"loas/internal/parallel"
 	"loas/internal/sim"
 	"loas/internal/techno"
@@ -160,52 +161,86 @@ func sampleSeed(seed int64, i int) int64 {
 	return int64(z)
 }
 
-// RunOffset draws n samples and returns the offset statistics, fanning
-// the samples across cfg.Workers goroutines. The run is deterministic
-// for a given seed and bit-identical for any worker count or GOMAXPROCS:
-// each sample draws from its own seed-split random stream (sampleSeed)
-// and the statistics are reduced serially in sample order.
-func RunOffset(cfg OffsetConfig, n int, seed int64) (*OffsetStats, error) {
-	type sample struct {
-		off float64
-		ok  bool
-	}
+// mcSamples counts completed Monte-Carlo offset samples process-wide
+// (the loasd /metrics throughput number).
+var mcSamples = obs.Default.Counter("loas_mc_samples_total",
+	"completed Monte-Carlo offset samples (including failed searches)")
+
+// OffsetSample is the outcome of one Monte-Carlo draw. Index is the
+// sample's global position in the run's seed-split stream, so a run can
+// be split into ranges and resumed: sample i is identical no matter
+// which call — or which worker — produced it.
+type OffsetSample struct {
+	Index   int     `json:"index"`
+	OffsetV float64 `json:"offset_v"`
+	OK      bool    `json:"ok"` // false: search escaped the window or DC failed
+}
+
+// OffsetSamples simulates samples [start, start+n) of the run seeded by
+// seed, fanning them across cfg.Workers goroutines. Each sample draws
+// from its own seed-split random stream (sampleSeed), so the outcome of
+// sample i depends only on (seed, i) — never on start, the worker count
+// or GOMAXPROCS. Results come back in index order.
+func OffsetSamples(cfg OffsetConfig, start, n int, seed int64) ([]OffsetSample, error) {
 	// A failed offset search (outside the window, no DC convergence) is a
 	// per-sample outcome counted by the reducer, never a pool error — so
 	// the only errors MapN can surface here are worker panics.
-	outs, err := parallel.MapN(context.Background(), cfg.Workers, n,
-		func(_ context.Context, i int) (sample, error) {
+	return parallel.MapN(context.Background(), cfg.Workers, n,
+		func(_ context.Context, i int) (OffsetSample, error) {
+			idx := start + i
 			base := cfg.Build()
-			s := Draw(rand.New(rand.NewSource(sampleSeed(seed, i))), base)
+			s := Draw(rand.New(rand.NewSource(sampleSeed(seed, idx))), base)
 			off, err := SimulateOffset(cfg, s)
+			mcSamples.Inc()
 			if err != nil {
-				return sample{}, nil
+				return OffsetSample{Index: idx}, nil
 			}
-			return sample{off: off, ok: true}, nil
+			return OffsetSample{Index: idx, OffsetV: off, OK: true}, nil
 		})
-	if err != nil {
-		return nil, err
-	}
+}
 
+// ReduceOffsets folds samples into offset statistics, accumulating in
+// the order given. Reducing the concatenation of consecutive ranges is
+// bit-identical to reducing one full run — float addition is performed
+// in the same sample order either way.
+func ReduceOffsets(samples []OffsetSample) *OffsetStats {
 	stats := &OffsetStats{}
 	var sum, sum2 float64
-	for _, o := range outs {
-		if !o.ok {
+	for _, o := range samples {
+		if !o.OK {
 			stats.Failures++
 			continue
 		}
 		stats.N++
-		sum += o.off
-		sum2 += o.off * o.off
-		if a := math.Abs(o.off); a > stats.WorstAbsV {
+		sum += o.OffsetV
+		sum2 += o.OffsetV * o.OffsetV
+		if a := math.Abs(o.OffsetV); a > stats.WorstAbsV {
 			stats.WorstAbsV = a
 		}
 	}
 	if stats.N == 0 {
-		return stats, fmt.Errorf("mc: all %d samples failed", n)
+		return stats
 	}
 	stats.MeanV = sum / float64(stats.N)
 	stats.SigmaV = math.Sqrt(sum2/float64(stats.N) - stats.MeanV*stats.MeanV)
+	return stats
+}
+
+// RunOffset draws n samples and returns the offset statistics, fanning
+// the samples across cfg.Workers goroutines. The run is deterministic
+// for a given seed and bit-identical for any worker count or GOMAXPROCS,
+// and for any split of the index range into OffsetSamples calls: each
+// sample owns a seed-split random stream and the statistics are reduced
+// serially in sample order.
+func RunOffset(cfg OffsetConfig, n int, seed int64) (*OffsetStats, error) {
+	outs, err := OffsetSamples(cfg, 0, n, seed)
+	if err != nil {
+		return nil, err
+	}
+	stats := ReduceOffsets(outs)
+	if stats.N == 0 {
+		return stats, fmt.Errorf("mc: all %d samples failed", n)
+	}
 	return stats, nil
 }
 

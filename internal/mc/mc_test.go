@@ -128,26 +128,89 @@ func TestRunOffsetDeterministic(t *testing.T) {
 	}
 }
 
-// TestRunOffsetWorkerInvariance pins the parallel-engine contract: the
-// same seed yields bit-identical OffsetStats no matter how many workers
-// execute the samples, because each sample owns a seed-split random
-// stream and the reduction runs in sample order.
+// TestRunOffsetWorkerInvariance pins the determinism contract of the
+// engine as a property over execution shapes: the same (seed, n) yields
+// bit-identical OffsetStats no matter how many workers execute the
+// samples AND no matter how the sample range is split into resumed
+// OffsetSamples batches — because sample i's random stream depends only
+// on (seed, i) and the reduction runs in sample order.
 func TestRunOffsetWorkerInvariance(t *testing.T) {
-	cfg := fcConfig(t)
-	cfg.Workers = 1
-	ref, err := RunOffset(cfg, 6, 7)
+	const n, seed = 6, 7
+	base := fcConfig(t)
+	base.Workers = 1
+	ref, err := RunOffset(base, n, seed)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, w := range []int{4, runtime.NumCPU()} {
-		cfg.Workers = w
-		got, err := RunOffset(cfg, 6, 7)
-		if err != nil {
-			t.Fatalf("workers=%d: %v", w, err)
+
+	cases := []struct {
+		name    string
+		workers int
+		split   []int // batch sizes summing to n; nil = single RunOffset
+	}{
+		{"workers=1", 1, nil},
+		{"workers=4", 4, nil},
+		{"workers=16", 16, nil},
+		{"workers=numcpu", runtime.NumCPU(), nil},
+		{"resume 2+4", 4, []int{2, 4}},
+		{"resume 3+3", 1, []int{3, 3}},
+		{"resume 1+2+3", 16, []int{1, 2, 3}},
+		{"resume 1x6", 4, []int{1, 1, 1, 1, 1, 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base
+			cfg.Workers = tc.workers
+			var got *OffsetStats
+			if tc.split == nil {
+				got, err = RunOffset(cfg, n, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				var all []OffsetSample
+				start := 0
+				for _, bn := range tc.split {
+					batch, err := OffsetSamples(cfg, start, bn, seed)
+					if err != nil {
+						t.Fatalf("batch at %d: %v", start, err)
+					}
+					all = append(all, batch...)
+					start += bn
+				}
+				if start != n {
+					t.Fatalf("split %v does not cover %d samples", tc.split, n)
+				}
+				got = ReduceOffsets(all)
+			}
+			if *got != *ref {
+				t.Fatalf("statistics not bit-identical:\n  reference %+v\n  got       %+v",
+					*ref, *got)
+			}
+		})
+	}
+}
+
+// TestOffsetSamplesIndexing: a resumed batch must carry absolute sample
+// indices and reproduce exactly the samples a full run would have drawn
+// at those indices.
+func TestOffsetSamplesIndexing(t *testing.T) {
+	cfg := fcConfig(t)
+	full, err := OffsetSamples(cfg, 0, 5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail, err := OffsetSamples(cfg, 3, 2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range tail {
+		want := full[3+i]
+		if s.Index != 3+i {
+			t.Fatalf("tail[%d].Index = %d, want %d", i, s.Index, 3+i)
 		}
-		if *got != *ref {
-			t.Fatalf("workers=%d changed the statistics:\n  serial   %+v\n  parallel %+v",
-				w, *ref, *got)
+		if s != want {
+			t.Fatalf("resumed sample %d differs: %+v vs %+v", s.Index, s, want)
 		}
 	}
 }

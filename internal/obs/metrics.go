@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is ready
+// to use; obtain shared instances through a Registry.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative deltas are ignored — counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Histogram is a fixed-bucket cumulative histogram (Prometheus
+// semantics: bucket counts are cumulative over the upper bounds, plus an
+// implicit +Inf bucket). All methods are safe for concurrent use.
+type Histogram struct {
+	bounds []float64      // sorted upper bounds
+	counts []atomic.Int64 // len(bounds)+1; last = +Inf
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// NewHistogram builds a histogram over the given bucket upper bounds
+// (sorted ascending; an implicit +Inf bucket is always appended).
+func NewHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		s := math.Float64frombits(old) + v
+		if h.sum.CompareAndSwap(old, math.Float64bits(s)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// metric is one registered name: exactly one of the fields is set.
+type metric struct {
+	help  string
+	c     *Counter
+	h     *Histogram
+	gauge func() float64
+}
+
+// Registry holds named metrics and renders them in the Prometheus text
+// exposition format. Get-or-create accessors make registration
+// idempotent: the first call for a name wins, later calls return the
+// same instance.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: map[string]*metric{}}
+}
+
+// Default is the process-wide registry for domain-level counters (layout
+// plans, sizing passes, MC samples). Servers expose it alongside their
+// own per-instance registry.
+var Default = NewRegistry()
+
+// Counter returns the counter registered under name, creating it with
+// the given help text on first use. Panics if name is already registered
+// as a different metric kind.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.c == nil {
+			panic("obs: " + name + " already registered as a non-counter")
+		}
+		return m.c
+	}
+	c := &Counter{}
+	r.metrics[name] = &metric{help: help, c: c}
+	return c
+}
+
+// Histogram returns the histogram registered under name, creating it
+// over the given bucket bounds on first use.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.h == nil {
+			panic("obs: " + name + " already registered as a non-histogram")
+		}
+		return m.h
+	}
+	h := NewHistogram(bounds)
+	r.metrics[name] = &metric{help: help, h: h}
+	return h
+}
+
+// GaugeFunc registers fn as a gauge sampled at exposition time (queue
+// depth, cache bytes — values that go up and down and already live in
+// someone else's counter). Re-registering a name keeps the first fn.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.metrics[name]; ok {
+		return
+	}
+	r.metrics[name] = &metric{help: help, gauge: fn}
+}
+
+// WritePrometheus renders every metric in the text exposition format,
+// sorted by name so output is deterministic and diffable.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.metrics))
+	for n := range r.metrics {
+		names = append(names, n)
+	}
+	ms := make([]*metric, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		ms = append(ms, r.metrics[n])
+	}
+	r.mu.Unlock()
+
+	for i, name := range names {
+		m := ms[i]
+		if m.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, m.help); err != nil {
+				return err
+			}
+		}
+		var err error
+		switch {
+		case m.c != nil:
+			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, m.c.Value())
+		case m.gauge != nil:
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, formatFloat(m.gauge()))
+		case m.h != nil:
+			err = writeHistogram(w, name, m.h)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, name string, h *Histogram) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	var cum int64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(bound), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+		name, cum, name, formatFloat(h.Sum()), name, h.Count())
+	return err
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

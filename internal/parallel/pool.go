@@ -40,6 +40,7 @@ type Pool struct {
 	closed bool
 
 	depth    atomic.Int64 // jobs accepted and not yet finished
+	maxDepth atomic.Int64 // high-water mark of depth over the pool's life
 	executed atomic.Int64
 	rejected atomic.Int64
 }
@@ -115,11 +116,20 @@ func (p *Pool) Submit(ctx context.Context, fn func(context.Context) error) error
 		p.mu.Unlock()
 		return ErrPoolClosed
 	}
-	if p.depth.Add(1) > p.limit {
+	d := p.depth.Add(1)
+	if d > p.limit {
 		p.depth.Add(-1)
 		p.mu.Unlock()
 		p.rejected.Add(1)
 		return ErrQueueFull
+	}
+	// Track the saturation high-water mark (an observability number: how
+	// close the pool has come to shedding load).
+	for {
+		m := p.maxDepth.Load()
+		if d <= m || p.maxDepth.CompareAndSwap(m, d) {
+			break
+		}
 	}
 	p.jobs <- job // never blocks: admission keeps depth within the buffer
 	p.mu.Unlock()
@@ -147,8 +157,9 @@ func (p *Pool) Close() {
 // PoolStats is a point-in-time snapshot of the pool counters.
 type PoolStats struct {
 	Workers  int   `json:"workers"`
-	Capacity int   `json:"capacity"` // queue slots beyond the workers
-	Depth    int64 `json:"depth"`    // accepted jobs not yet finished
+	Capacity int   `json:"capacity"`  // queue slots beyond the workers
+	Depth    int64 `json:"depth"`     // accepted jobs not yet finished
+	MaxDepth int64 `json:"max_depth"` // high-water mark of Depth
 	Executed int64 `json:"executed"`
 	Rejected int64 `json:"rejected"`
 }
@@ -159,6 +170,7 @@ func (p *Pool) Stats() PoolStats {
 		Workers:  p.workers,
 		Capacity: p.queueCap,
 		Depth:    p.depth.Load(),
+		MaxDepth: p.maxDepth.Load(),
 		Executed: p.executed.Load(),
 		Rejected: p.rejected.Load(),
 	}

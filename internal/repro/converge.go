@@ -1,85 +1,38 @@
 package repro
 
 import (
-	"fmt"
-	"strings"
-
 	"loas/internal/core"
-	"loas/internal/layout/extract"
+	"loas/internal/obs"
 	"loas/internal/sizing"
 	"loas/internal/techno"
 )
 
-// ConvergencePoint is one sizing↔layout iteration of the case-4 loop.
-type ConvergencePoint struct {
-	Call    int
-	DeltaF  float64 // MaxDelta vs the previous report (F); NaN for call 1
-	OutCapF float64
-	FN1CapF float64
-	W1      float64 // input pair width (m)
-	Lc      float64
-	Itail   float64
-}
+// ConvergencePoint is one sizing↔layout iteration of the case-4 loop —
+// now the shared obs.Iteration event the whole stack records (core
+// results, the loasd /v1/trace endpoint, `loas trace`).
+type ConvergencePoint = obs.Iteration
 
 // ConvergenceTrace replays the paper's "repeated till the calculated
 // parasitics remain unchanged" loop, recording every layout call — the
 // experiment behind the "three calls of the layout tool were needed"
-// sentence in §5.
+// sentence in §5. It is the case-4 synthesis loop itself (core.Synthesize
+// with verification skipped), so the trace is exactly what a full run
+// would record.
 func ConvergenceTrace(tech *techno.Tech, spec sizing.OTASpec, maxCalls int) ([]ConvergencePoint, error) {
-	ps, err := sizing.Case(4)
+	res, err := core.Synthesize(tech, spec, core.Options{
+		Case:           4,
+		MaxLayoutCalls: maxCalls,
+		SkipVerify:     true,
+	})
 	if err != nil {
 		return nil, err
 	}
-	var out []ConvergencePoint
-	var par *extract.Parasitics
-	for call := 1; call <= maxCalls; call++ {
-		ps.Report = par
-		d, err := sizing.SizeFoldedCascode(tech, spec, ps)
-		if err != nil {
-			return nil, err
-		}
-		plan, err := d.Layout().Plan(tech, core.Options{}.Shape)
-		if err != nil {
-			return nil, err
-		}
-		np := plan.Parasitics
-		pt := ConvergencePoint{
-			Call:    call,
-			OutCapF: np.TotalNetCap(sizing.NetOut),
-			FN1CapF: np.TotalNetCap(sizing.NetFN1),
-			W1:      d.Devices[sizing.MP1].W,
-			Lc:      d.Lc,
-			Itail:   d.Itail,
-		}
-		if par != nil {
-			pt.DeltaF = extract.MaxDelta(par, np)
-		} else {
-			pt.DeltaF = -1
-		}
-		out = append(out, pt)
-		if par != nil && pt.DeltaF < 1e-15 {
-			break
-		}
-		par = np
-	}
-	return out, nil
+	return res.Trace, nil
 }
 
-// ConvergenceText renders the trace.
+// ConvergenceText renders the trace as the convergence table.
 func ConvergenceText(pts []ConvergencePoint) string {
-	var b strings.Builder
-	b.WriteString("Parasitic convergence (case-4 loop)\n")
-	b.WriteString("  call   Δ(fF)   C(out) fF  C(fn1) fF   W1 (µm)   Lc (µm)  Itail (µA)\n")
-	for _, p := range pts {
-		delta := "    —"
-		if p.DeltaF >= 0 {
-			delta = fmt.Sprintf("%7.2f", p.DeltaF*1e15)
-		}
-		fmt.Fprintf(&b, "  %4d %s %10.1f %10.1f %9.2f %9.2f %10.1f\n",
-			p.Call, delta, p.OutCapF*1e15, p.FN1CapF*1e15,
-			p.W1*1e6, p.Lc*1e6, p.Itail*1e6)
-	}
-	return b.String()
+	return obs.ConvergenceTable(pts)
 }
 
 // EvalAblation compares the three phase-margin views of one design: the

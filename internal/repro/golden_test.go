@@ -1,0 +1,104 @@
+package repro
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"loas/internal/sizing"
+	"loas/internal/techno"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/table1_golden.json from a live run")
+
+const goldenPath = "testdata/table1_golden.json"
+
+// TestTable1Golden diffs a live four-case Table-1 run against the
+// committed bit-exact golden file. The synthesis pipeline is
+// deterministic, so any diff is a real behavioural change: rerun with
+//
+//	go test ./internal/repro -run TestTable1Golden -update
+//
+// to re-bless after an intentional model or solver change.
+func TestTable1Golden(t *testing.T) {
+	got := BuildGolden(techno.Default060(), sizing.Default65MHz(), table1Cases(t))
+
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenPath)
+		return
+	}
+
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	var want GoldenReport
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("corrupt golden file: %v", err)
+	}
+	if diffs := DiffGolden(&want, got); len(diffs) > 0 {
+		t.Fatalf("live Table-1 run diverges from %s in %d field(s):\n  %s\n(re-bless with -update if intentional)",
+			goldenPath, len(diffs), strings.Join(diffs, "\n  "))
+	}
+}
+
+// TestGoldenRoundTrip: the golden encoding must survive JSON and the
+// differ must actually detect perturbations (a differ that never fires
+// would make the golden test vacuous).
+func TestGoldenRoundTrip(t *testing.T) {
+	rep := BuildGolden(techno.Default060(), sizing.Default65MHz(), table1Cases(t))
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back GoldenReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if diffs := DiffGolden(rep, &back); len(diffs) > 0 {
+		t.Fatalf("round trip not identity: %v", diffs)
+	}
+
+	back.Cases[0].Extracted.GBW = hexF(1.0)
+	back.Cases[3].LayoutCalls++
+	diffs := DiffGolden(rep, &back)
+	if len(diffs) != 2 {
+		t.Fatalf("differ missed perturbations: %v", diffs)
+	}
+	for _, d := range diffs {
+		if !strings.Contains(d, "case 1.extracted.gbw_hz") && !strings.Contains(d, "case 4.layout_calls") {
+			t.Fatalf("unexpected diff line %q", d)
+		}
+	}
+}
+
+// TestGoldenHexEncoding pins the float codec itself: hex round trip is
+// exact and distinguishes the edge cases decimal formatting blurs.
+func TestGoldenHexEncoding(t *testing.T) {
+	if hexF(0) == hexF(negZero()) {
+		t.Fatal("hex encoding must distinguish +0 from -0")
+	}
+	v := 65e6
+	if hexF(v) != hexF(6.5e7) {
+		t.Fatal("equal values must encode equally")
+	}
+	if hexF(v) == hexF(math.Nextafter(v, math.Inf(1))) {
+		t.Fatal("one ulp apart must encode differently")
+	}
+}
+
+func negZero() float64 { z := 0.0; return -z }

@@ -9,6 +9,7 @@ import (
 	"loas/internal/circuit"
 	"loas/internal/core"
 	"loas/internal/mc"
+	"loas/internal/obs"
 	"loas/internal/repro"
 	"loas/internal/sizing"
 	"loas/internal/techno"
@@ -110,10 +111,12 @@ func layoutCacheKey(tech *techno.Tech, spec sizing.OTASpec) string {
 
 // Backend produces response bodies for the server. Implementations
 // must be safe for concurrent use; the returned bytes are cached and
-// replayed verbatim. Tests substitute a counting stub to pin down the
-// cache and dedup behaviour without paying for real synthesis.
+// replayed verbatim. Synthesize additionally returns the per-iteration
+// convergence events of the run (nil is fine), which the server retains
+// for GET /v1/trace/{key}. Tests substitute a counting stub to pin down
+// the cache and dedup behaviour without paying for real synthesis.
 type Backend interface {
-	Synthesize(ctx context.Context, spec sizing.OTASpec, req *SynthesizeRequest) ([]byte, error)
+	Synthesize(ctx context.Context, spec sizing.OTASpec, req *SynthesizeRequest) ([]byte, []obs.Iteration, error)
 	Table1(ctx context.Context, spec sizing.OTASpec) ([]byte, error)
 	MC(ctx context.Context, spec sizing.OTASpec, req *MCRequest) ([]byte, error)
 	LayoutSVG(ctx context.Context, spec sizing.OTASpec) ([]byte, error)
@@ -124,19 +127,24 @@ type StdBackend struct {
 	Tech *techno.Tech
 }
 
-// Synthesize runs one Table-1 case and returns its JSON summary.
-func (b *StdBackend) Synthesize(_ context.Context, spec sizing.OTASpec, req *SynthesizeRequest) ([]byte, error) {
+// Synthesize runs one Table-1 case and returns its JSON summary plus
+// the convergence trace of the run.
+func (b *StdBackend) Synthesize(_ context.Context, spec sizing.OTASpec, req *SynthesizeRequest) ([]byte, []obs.Iteration, error) {
 	res, err := core.Synthesize(b.Tech, spec, core.Options{
 		Case:           req.Case,
 		MaxLayoutCalls: req.MaxLayoutCalls,
 		SkipVerify:     req.SkipVerify,
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	s := res.Summary()
 	s.Case = req.Case
-	return marshalJSON(s)
+	body, err := marshalJSON(s)
+	if err != nil {
+		return nil, nil, err
+	}
+	return body, res.Trace, nil
 }
 
 // Table1 runs all four cases (concurrently, via core.SynthesizeAll) and

@@ -27,6 +27,7 @@ func CLI(args []string, out io.Writer) error {
 	workers := fs.Int("workers", 0, "synthesis workers (0 = all CPUs)")
 	queue := fs.Int("queue", 64, "queued jobs beyond the workers before shedding load")
 	timeout := fs.Duration("timeout", 5*time.Minute, "per-request synthesis timeout")
+	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -35,11 +36,12 @@ func CLI(args []string, out io.Writer) error {
 		cacheBytes = -1
 	}
 	srv := New(Config{
-		CacheBytes: cacheBytes,
-		TTL:        *ttl,
-		Workers:    *workers,
-		QueueDepth: *queue,
-		Timeout:    *timeout,
+		CacheBytes:  cacheBytes,
+		TTL:         *ttl,
+		Workers:     *workers,
+		QueueDepth:  *queue,
+		Timeout:     *timeout,
+		EnablePprof: *pprofOn,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"math"
+	"testing"
+
+	"loas/internal/sizing"
+	"loas/internal/techno"
+)
+
+// floatEquiv reports whether two floats produce the same canonical key
+// encoding: strconv's 'x' format renders every NaN bit pattern as "NaN"
+// and otherwise distinguishes exact bit patterns (so +0 != -0 and 1-ulp
+// perturbations differ).
+func floatEquiv(a, b float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// specFields flattens an OTASpec into the 8 floats the canonical
+// encoding covers, in a fixed order.
+func specFields(s sizing.OTASpec) [8]float64 {
+	return [8]float64{s.VDD, s.GBW, s.PM, s.CL, s.ICMLow, s.ICMHigh, s.OutLow, s.OutHigh}
+}
+
+func specFromFields(f [8]float64) sizing.OTASpec {
+	return sizing.OTASpec{
+		VDD: f[0], GBW: f[1], PM: f[2], CL: f[3],
+		ICMLow: f[4], ICMHigh: f[5], OutLow: f[6], OutHigh: f[7],
+	}
+}
+
+// FuzzCanonicalKey checks the two directions of the content-addressed
+// key contract on SynthesizeRequest.cacheKey:
+//
+//   - equal requests (where "equal" treats all NaN bit patterns alike
+//     and distinguishes +0 from -0) hash to equal keys, and
+//   - perturbing any single spec field — including by one ulp, a sign
+//     flip on zero, or into NaN — or any request field changes the key.
+//
+// The fuzzer drives spec A directly, derives spec B by XORing `xorBits`
+// into the bit pattern of field `field%9` (9 selects "no perturbation"),
+// and compares key equality against field-wise float equivalence.
+func FuzzCanonicalKey(f *testing.F) {
+	// Identity, 1-ulp, signed zero, and NaN seeds around the default spec.
+	d := specFields(sizing.Default65MHz())
+	seed := func(field uint8, xor uint64, caseN, maxCalls uint8, skip bool) {
+		f.Add(d[0], d[1], d[2], d[3], d[4], d[5], d[6], d[7], field, xor, caseN, maxCalls, skip)
+	}
+	seed(9, 0, 1, 0, false)                            // identical specs
+	seed(0, 1, 1, 0, false)                            // vdd off by one ulp
+	seed(3, 1<<63, 4, 3, true)                         // cl sign flip
+	seed(6, math.Float64bits(math.NaN()), 2, 0, false) // outl -> NaN-ish
+	z := d
+	z[6] = 0
+	f.Add(z[0], z[1], z[2], z[3], z[4], z[5], z[6], z[7], uint8(6), uint64(1)<<63, uint8(1), uint8(0), false) // +0 vs -0
+
+	tech := techno.Default060()
+	f.Fuzz(func(t *testing.T, f0, f1, f2, f3, f4, f5, f6, f7 float64,
+		field uint8, xorBits uint64, caseN, maxCalls uint8, skip bool) {
+		a := [8]float64{f0, f1, f2, f3, f4, f5, f6, f7}
+		b := a
+		if i := int(field % 9); i < 8 {
+			b[i] = math.Float64frombits(math.Float64bits(a[i]) ^ xorBits)
+		}
+
+		req := SynthesizeRequest{
+			Case:           1 + int(caseN%4),
+			MaxLayoutCalls: int(maxCalls % 9),
+			SkipVerify:     skip,
+		}
+		keyA := req.cacheKey(tech, specFromFields(a))
+		keyB := req.cacheKey(tech, specFromFields(b))
+
+		equiv := true
+		for i := range a {
+			if !floatEquiv(a[i], b[i]) {
+				equiv = false
+				break
+			}
+		}
+		if (keyA == keyB) != equiv {
+			t.Fatalf("spec equivalence %v but key equality %v\na=%x\nb=%x",
+				equiv, keyA == keyB, a, b)
+		}
+
+		// Request-field perturbations must always change the key.
+		for _, alt := range []SynthesizeRequest{
+			{Case: 1 + (req.Case % 4), MaxLayoutCalls: req.MaxLayoutCalls, SkipVerify: req.SkipVerify},
+			{Case: req.Case, MaxLayoutCalls: req.MaxLayoutCalls + 1, SkipVerify: req.SkipVerify},
+			{Case: req.Case, MaxLayoutCalls: req.MaxLayoutCalls, SkipVerify: !req.SkipVerify},
+		} {
+			if alt.cacheKey(tech, specFromFields(a)) == keyA {
+				t.Fatalf("request perturbation %+v did not change key (base %+v)", alt, req)
+			}
+		}
+
+		// Different endpoint kinds must never collide even on one spec.
+		t1 := Table1Request{}
+		if t1.cacheKey(tech, specFromFields(a)) == keyA {
+			t.Fatal("table1 key collided with synthesize key")
+		}
+	})
+}

@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/pprof"
+
+	"loas/internal/obs"
+)
+
+// latencyBuckets spans the service's dynamic range: sub-millisecond
+// cache hits up to multi-minute cold Table-1 runs (seconds).
+var latencyBuckets = []float64{
+	0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 2.5, 5, 10, 30, 60, 120,
+}
+
+// initMetrics builds the per-server registry. Counters the server
+// already tracks atomically (requests, cache hits, queue depth) are
+// exposed as gauges sampled at scrape time — one source of truth, two
+// views (/stats JSON and /metrics Prometheus text).
+func (s *Server) initMetrics() {
+	r := obs.NewRegistry()
+	s.reg = r
+	s.latency = r.Histogram("loas_synth_latency_seconds",
+		"request latency of result endpoints (cache hits and backend runs)", latencyBuckets)
+
+	r.GaugeFunc("loas_requests", "requests received",
+		func() float64 { return float64(s.requests.Load()) })
+	r.GaugeFunc("loas_errors", "requests answered with an error status",
+		func() float64 { return float64(s.errs.Load()) })
+	r.GaugeFunc("loas_backend_runs", "synthesis executions that reached the backend",
+		func() float64 { return float64(s.backendRuns.Load()) })
+	r.GaugeFunc("loas_dedup_joined", "requests that joined an in-flight identical synthesis",
+		func() float64 { return float64(s.flight.Joined()) })
+
+	r.GaugeFunc("loas_cache_hits", "result cache hits",
+		func() float64 { return float64(s.cache.Stats().Hits) })
+	r.GaugeFunc("loas_cache_misses", "result cache misses",
+		func() float64 { return float64(s.cache.Stats().Misses) })
+	r.GaugeFunc("loas_cache_bytes", "bytes held by the result cache",
+		func() float64 { return float64(s.cache.Stats().Bytes) })
+	r.GaugeFunc("loas_cache_entries", "entries held by the result cache",
+		func() float64 { return float64(s.cache.Stats().Entries) })
+
+	r.GaugeFunc("loas_queue_depth", "synthesis jobs accepted and not yet finished",
+		func() float64 { return float64(s.pool.Stats().Depth) })
+	r.GaugeFunc("loas_queue_depth_max", "high-water mark of the job queue depth",
+		func() float64 { return float64(s.pool.Stats().MaxDepth) })
+	r.GaugeFunc("loas_queue_rejected", "jobs shed because the queue was full",
+		func() float64 { return float64(s.pool.Stats().Rejected) })
+
+	r.GaugeFunc("loas_traces_stored", "convergence traces retained for /v1/trace",
+		func() float64 { return float64(s.traces.len()) })
+}
+
+// handleMetrics serves the Prometheus text exposition: the server's own
+// registry first, then the process-wide obs.Default registry carrying
+// the domain counters (sizing passes, layout plans, MC samples).
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WritePrometheus(w); err != nil {
+		return
+	}
+	obs.Default.WritePrometheus(w)
+}
+
+// mountPprof exposes the net/http/pprof profiles on the server mux
+// (Config.EnablePprof / loasd -pprof). Mounted explicitly rather than
+// through the package's DefaultServeMux side effect so an undebugged
+// daemon serves nothing under /debug/.
+func mountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+}

@@ -12,8 +12,12 @@
 //	POST /v1/table1       all four cases              → repro.Table1Report JSON
 //	POST /v1/mc           mismatch Monte-Carlo        → MCReport JSON
 //	GET  /v1/layout.svg   case-4 generate-mode layout → SVG
+//	GET  /v1/trace/{key}  convergence trace of a synthesis → TraceReport JSON
 //	GET  /healthz         liveness
 //	GET  /stats           cache + queue + latency counters (also expvar)
+//	GET  /metrics         Prometheus text exposition (latency histogram,
+//	                      cache/queue gauges, domain counters)
+//	GET  /debug/pprof/*   net/http/pprof, only with Config.EnablePprof
 //
 // Cached responses are replayed verbatim, so a hit is byte-identical to
 // the response that populated it; the X-Loas-Cache header reports
@@ -31,6 +35,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"loas/internal/obs"
 	"loas/internal/parallel"
 	"loas/internal/sizing"
 	"loas/internal/techno"
@@ -59,6 +64,10 @@ type Config struct {
 	QueueDepth int             // queued jobs beyond the workers; default 64, < 0 = none
 	Timeout    time.Duration   // per-job wall-clock bound, default 5 min
 	Backend    Backend         // default StdBackend over Tech
+	// MaxTraces bounds the convergence-trace store (default 256).
+	MaxTraces int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
 }
 
 // Server is the HTTP synthesis service. Create with New, expose
@@ -73,6 +82,10 @@ type Server struct {
 	flight *Flight
 	pool   *parallel.Pool
 	mux    *http.ServeMux
+	traces *traceStore
+
+	reg     *obs.Registry
+	latency *obs.Histogram
 
 	requests    atomic.Int64
 	errs        atomic.Int64
@@ -111,13 +124,20 @@ func New(cfg Config) *Server {
 		flight:  NewFlight(),
 		pool:    parallel.NewPool(cfg.Workers, cfg.QueueDepth),
 		mux:     http.NewServeMux(),
+		traces:  newTraceStore(cfg.MaxTraces),
 	}
+	s.initMetrics()
 	s.mux.HandleFunc("POST /v1/synthesize", s.handleSynthesize)
 	s.mux.HandleFunc("POST /v1/table1", s.handleTable1)
 	s.mux.HandleFunc("POST /v1/mc", s.handleMC)
 	s.mux.HandleFunc("GET /v1/layout.svg", s.handleLayoutSVG)
+	s.mux.HandleFunc("GET /v1/trace/{key}", s.handleTraceKey)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.EnablePprof {
+		mountPprof(s.mux)
+	}
 	return s
 }
 
@@ -188,10 +208,42 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		s.badRequest(w, err)
 		return
 	}
-	s.respond(w, req.cacheKey(s.tech, spec), "application/json",
+	key := req.cacheKey(s.tech, spec)
+	s.respond(w, key, "application/json",
 		func(ctx context.Context) ([]byte, error) {
-			return s.backend.Synthesize(ctx, spec, &req)
+			body, iters, err := s.backend.Synthesize(ctx, spec, &req)
+			if err == nil {
+				s.traces.put(key, iters)
+			}
+			return body, err
 		})
+}
+
+// handleTraceKey serves the convergence trace recorded when the
+// synthesis under {key} ran. 404 until that synthesis has executed (a
+// cache hit replays bytes without re-recording, so the trace persists
+// beside the cached result until evicted).
+func (s *Server) handleTraceKey(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	evRequests.Add(1)
+	key := r.PathValue("key")
+	iters, ok := s.traces.get(key)
+	if !ok {
+		s.errorBody(w, http.StatusNotFound, fmt.Errorf("no trace recorded for key %q", key))
+		return
+	}
+	body, err := marshalJSON(TraceReport{
+		Key:        key,
+		Converged:  obs.Converged(iters, 1e-15),
+		Iterations: iters,
+	})
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+	s.served.Add(1)
 }
 
 func (s *Server) handleTable1(w http.ResponseWriter, r *http.Request) {
@@ -250,7 +302,7 @@ func (s *Server) respond(w http.ResponseWriter, key, contentType string,
 
 	if v, ok := s.cache.Get(key); ok {
 		evCacheHits.Add(1)
-		s.write(w, v, "hit", start)
+		s.write(w, v, key, "hit", start)
 		return
 	}
 	evCacheMisses.Add(1)
@@ -289,14 +341,19 @@ func (s *Server) respond(w http.ResponseWriter, key, contentType string,
 	if shared {
 		src = "dedup"
 	}
-	s.write(w, v, src, start)
+	s.write(w, v, key, src, start)
 }
 
-func (s *Server) write(w http.ResponseWriter, v Value, src string, start time.Time) {
+func (s *Server) write(w http.ResponseWriter, v Value, key, src string, start time.Time) {
 	w.Header().Set("Content-Type", v.ContentType)
 	w.Header().Set("X-Loas-Cache", src)
+	// The content-addressed key lets the client fetch the convergence
+	// trace of the synthesis that produced this body (GET /v1/trace/{key}).
+	w.Header().Set("X-Loas-Key", key)
 	w.Write(v.Body)
-	s.latencyNS.Add(time.Since(start).Nanoseconds())
+	elapsed := time.Since(start)
+	s.latencyNS.Add(elapsed.Nanoseconds())
+	s.latency.Observe(elapsed.Seconds())
 	s.served.Add(1)
 }
 

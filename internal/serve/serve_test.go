@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"loas/internal/obs"
 	"loas/internal/sizing"
 )
 
@@ -40,8 +41,17 @@ func (b *stubBackend) do(kind string) ([]byte, error) {
 	return []byte(fmt.Sprintf("{\"kind\":%q,\"call\":%d}\n", kind, n)), nil
 }
 
-func (b *stubBackend) Synthesize(_ context.Context, _ sizing.OTASpec, req *SynthesizeRequest) ([]byte, error) {
-	return b.do(fmt.Sprintf("synthesize-%d", req.Case))
+// stubIterations is the canned convergence trace every stub synthesis
+// reports — three layout calls shrinking to a fixpoint, like the paper.
+var stubIterations = []obs.Iteration{
+	{Call: 1, DeltaF: -1, OutCapF: 100e-15},
+	{Call: 2, DeltaF: 10e-15, OutCapF: 110e-15},
+	{Call: 3, DeltaF: 0.5e-15, OutCapF: 110.5e-15},
+}
+
+func (b *stubBackend) Synthesize(_ context.Context, _ sizing.OTASpec, req *SynthesizeRequest) ([]byte, []obs.Iteration, error) {
+	body, err := b.do(fmt.Sprintf("synthesize-%d", req.Case))
+	return body, stubIterations, err
 }
 func (b *stubBackend) Table1(context.Context, sizing.OTASpec) ([]byte, error) {
 	return b.do("table1")
@@ -237,6 +247,163 @@ func TestStatsAndHealthz(t *testing.T) {
 	}
 	if st.Queue.Workers <= 0 {
 		t.Fatalf("queue stats missing: %+v", st.Queue)
+	}
+}
+
+// TestTraceEndpoint: a synthesis stores its convergence trace under its
+// content-addressed key (echoed in X-Loas-Key), and /v1/trace/{key}
+// replays it — including after the result itself becomes a cache hit.
+func TestTraceEndpoint(t *testing.T) {
+	stub := &stubBackend{}
+	_, ts := newStubServer(t, Config{}, stub)
+
+	resp, _ := post(t, ts.URL+"/v1/synthesize", `{"case":2}`)
+	key := resp.Header.Get("X-Loas-Key")
+	if key == "" {
+		t.Fatal("response missing X-Loas-Key")
+	}
+
+	fetch := func() TraceReport {
+		t.Helper()
+		r, err := http.Get(ts.URL + "/v1/trace/" + key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("trace status %d", r.StatusCode)
+		}
+		var rep TraceReport
+		if err := json.NewDecoder(r.Body).Decode(&rep); err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	rep := fetch()
+	if rep.Key != key || len(rep.Iterations) != len(stubIterations) {
+		t.Fatalf("trace report = %+v", rep)
+	}
+	if !rep.Converged {
+		t.Fatal("stub trace ends below tolerance, should report converged")
+	}
+	if rep.Iterations[2].DeltaF != stubIterations[2].DeltaF {
+		t.Fatalf("iteration replay corrupted: %+v", rep.Iterations[2])
+	}
+
+	// A cache hit replays bytes without re-running the backend; the
+	// trace must still be there.
+	resp2, _ := post(t, ts.URL+"/v1/synthesize", `{"case":2}`)
+	if resp2.Header.Get("X-Loas-Cache") != "hit" {
+		t.Fatal("second request should hit")
+	}
+	if resp2.Header.Get("X-Loas-Key") != key {
+		t.Fatal("key must be stable across hit and miss")
+	}
+	fetch()
+	if stub.calls.Load() != 1 {
+		t.Fatalf("backend calls = %d, want 1", stub.calls.Load())
+	}
+
+	// Unknown keys are 404.
+	r, err := http.Get(ts.URL + "/v1/trace/deadbeef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown key status %d, want 404", r.StatusCode)
+	}
+}
+
+func TestTraceStoreBoundedFIFO(t *testing.T) {
+	ts := newTraceStore(2)
+	it := []obs.Iteration{{Call: 1}}
+	ts.put("a", it)
+	ts.put("b", it)
+	ts.put("a", it) // refresh must not double-count a
+	ts.put("c", it) // evicts a (oldest)
+	if _, ok := ts.get("a"); ok {
+		t.Fatal("a should have been evicted")
+	}
+	for _, k := range []string{"b", "c"} {
+		if _, ok := ts.get(k); !ok {
+			t.Fatalf("%s missing", k)
+		}
+	}
+	if ts.len() != 2 {
+		t.Fatalf("len = %d, want 2", ts.len())
+	}
+	ts.put("d", nil) // empty traces are not stored
+	if _, ok := ts.get("d"); ok {
+		t.Fatal("empty trace should be ignored")
+	}
+}
+
+// TestMetricsEndpoint: /metrics exposes the latency histogram, the
+// cache/queue gauges and the process-wide domain counters in Prometheus
+// text format.
+func TestMetricsEndpoint(t *testing.T) {
+	stub := &stubBackend{}
+	_, ts := newStubServer(t, Config{}, stub)
+	post(t, ts.URL+"/v1/synthesize", `{}`)
+	post(t, ts.URL+"/v1/synthesize", `{}`) // hit
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	for _, want := range []string{
+		"# TYPE loas_synth_latency_seconds histogram",
+		`loas_synth_latency_seconds_bucket{le="+Inf"} 2`,
+		"loas_synth_latency_seconds_count 2",
+		"loas_cache_hits 1",
+		"loas_cache_misses 1",
+		"loas_backend_runs 1",
+		"# TYPE loas_queue_depth gauge",
+		"loas_queue_depth 0",
+		"loas_traces_stored 1",
+		// Domain counters from obs.Default (values vary across the test
+		// binary's lifetime; presence is the contract here).
+		"loas_sizing_passes_total",
+		"loas_layout_plans_total",
+		"loas_mc_samples_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestPprofGating: the profiler endpoints exist only when asked for.
+func TestPprofGating(t *testing.T) {
+	stub := &stubBackend{}
+	_, off := newStubServer(t, Config{}, stub)
+	resp, err := http.Get(off.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof should be absent by default, got status %d", resp.StatusCode)
+	}
+
+	_, on := newStubServer(t, Config{EnablePprof: true}, stub)
+	resp, err = http.Get(on.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof enabled but status %d", resp.StatusCode)
 	}
 }
 

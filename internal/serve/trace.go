@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"sync"
+
+	"loas/internal/obs"
+)
+
+// TraceReport is the body of GET /v1/trace/{key}: the per-iteration
+// convergence events recorded while the synthesis under that cache key
+// ran. The key is the same content-addressed hash the result cache uses
+// (returned to clients in the X-Loas-Key response header).
+type TraceReport struct {
+	Key        string          `json:"key"`
+	Converged  bool            `json:"converged"`
+	Iterations []obs.Iteration `json:"iterations"`
+}
+
+// traceStore retains the convergence traces of recent synthesis runs,
+// keyed by cache key, bounded FIFO. Traces are tiny (a handful of
+// events) so a fixed entry bound is enough; like the result cache, a
+// stored trace is immutable and replayed as recorded.
+type traceStore struct {
+	mu    sync.Mutex
+	max   int
+	order []string // insertion order for FIFO eviction
+	m     map[string][]obs.Iteration
+}
+
+func newTraceStore(max int) *traceStore {
+	if max <= 0 {
+		max = 256
+	}
+	return &traceStore{max: max, m: map[string][]obs.Iteration{}}
+}
+
+// put stores iters under key (empty traces are ignored; re-running the
+// same key refreshes the events without growing the order list).
+func (ts *traceStore) put(key string, iters []obs.Iteration) {
+	if len(iters) == 0 {
+		return
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if _, ok := ts.m[key]; !ok {
+		ts.order = append(ts.order, key)
+		for len(ts.order) > ts.max {
+			delete(ts.m, ts.order[0])
+			ts.order = ts.order[1:]
+		}
+	}
+	ts.m[key] = iters
+}
+
+func (ts *traceStore) get(key string) ([]obs.Iteration, bool) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	iters, ok := ts.m[key]
+	return iters, ok
+}
+
+func (ts *traceStore) len() int {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return len(ts.m)
+}

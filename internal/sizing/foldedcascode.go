@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"loas/internal/device"
+	"loas/internal/obs"
 	"loas/internal/techno"
 )
 
@@ -164,8 +165,14 @@ func SizeFoldedCascode(tech *techno.Tech, spec OTASpec, ps ParasiticState) (*Fol
 	p.d.Iterations = p.iters
 	p.d.PMAnalytic = p.analyticPhaseMargin()
 	p.predict()
+	sizingPasses.Inc()
 	return p.d, nil
 }
+
+// sizingPasses counts completed passes of every design plan — the
+// COMDIAC-side half of the loasd /metrics convergence picture.
+var sizingPasses = obs.Default.Counter("loas_sizing_passes_total",
+	"completed sizing passes (all design plans)")
 
 func clamp(v, lo, hi float64) float64 {
 	if v < lo {

@@ -212,6 +212,7 @@ func SizeTwoStage(tech *techno.Tech, spec OTASpec, ps ParasiticState) (*TwoStage
 	a1 := op1.Gm / (op1.Gds + op4.Gds)
 	a2 := op6.Gm / (op6.Gds + op7.Gds)
 	d.Predicted.DCGainDB = DB(a1 * a2)
+	sizingPasses.Inc()
 	return d, nil
 }
 
