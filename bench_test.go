@@ -282,6 +282,33 @@ func BenchmarkTwoStageSizing(b *testing.B) {
 	b.ReportMetric(d.CC*1e12, "cc_pF")
 }
 
+// benchSynthesizeTopology runs the full case-4 layout-in-the-loop
+// synthesis (verification included) for one registered topology — the
+// per-topology cost record from the registry PR onward.
+func benchSynthesizeTopology(b *testing.B, topology string) {
+	b.Helper()
+	tech := techno.Default060()
+	plan, err := sizing.Lookup(topology)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := plan.DefaultSpec()
+	var res *core.Result
+	for i := 0; i < b.N; i++ {
+		res, err = core.Synthesize(tech, spec, core.Options{Topology: topology, Case: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Extracted.GBW/1e6, "xgbw_MHz")
+	b.ReportMetric(res.Extracted.PhaseDeg, "xpm_deg")
+	b.ReportMetric(float64(res.LayoutCalls), "layout_calls")
+}
+
+func BenchmarkSynthesizeFoldedCascode(b *testing.B) { benchSynthesizeTopology(b, "folded-cascode") }
+func BenchmarkSynthesizeTwoStage(b *testing.B)      { benchSynthesizeTopology(b, "two-stage") }
+func BenchmarkSynthesizeFiveT(b *testing.B)         { benchSynthesizeTopology(b, "five-t") }
+
 // benchMonteCarloOffset measures the statistical verification interface
 // (8 mismatch samples with full DC nulling each) at a given worker count.
 func benchMonteCarloOffset(b *testing.B, workers int) {

@@ -14,9 +14,12 @@ go build ./cmd/...
 
 # Race lane doubles as the coverage gate: total statement coverage must
 # not sink below the floor (the suite sits near 84% — the floor trips on
-# regressions, not noise).
+# regressions, not noise). -shuffle=on randomizes test (and package init)
+# order each run, so order-dependence on the package-level topology
+# registry or any other global state surfaces here instead of in the
+# field.
 COVER_FLOOR=82.0
-go test -race -coverprofile=cover.out ./...
+go test -race -shuffle=on -coverprofile=cover.out ./...
 total=$(go tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $3); print $3}')
 rm -f cover.out
 awk -v t="$total" -v f="$COVER_FLOOR" 'BEGIN {

@@ -9,12 +9,18 @@
 //	loas fig5 [-svg file]      generate the case-4 OTA layout
 //	loas flow                  proposed vs traditional flow comparison
 //	loas netlist [-case N]     print the extracted SPICE-like netlist
-//	loas mc [-n N] [-json]     Monte-Carlo mismatch offset analysis
+//	loas synth [-topology T] [-case N] [-json]  one layout-in-the-loop synthesis
+//	loas topologies            list the registered design plans
+//	loas mc [-topology T] [-n N] [-json]  Monte-Carlo mismatch offset analysis
 //	loas techeval              technology characterization report
 //	loas twostage              size the two-stage Miller OTA
 //	loas converge              per-call parasitic convergence trace
 //	loas trace [-case N] [-json]   convergence trace with per-phase timings
+//	loas corners [-topology T] process-corner verification
 //	loas serve [flags]         run the loasd synthesis daemon (alias)
+//
+// The -topology flag selects a registered design plan (see `loas
+// topologies`); the default is the paper's folded-cascode OTA.
 package main
 
 import (
@@ -79,8 +85,12 @@ func run(cmd string, args []string, out io.Writer) error {
 		return err
 	case "netlist":
 		return runNetlist(tech, spec, args, out)
+	case "synth":
+		return runSynth(tech, args, out)
+	case "topologies":
+		return runTopologies(out)
 	case "mc":
-		return runMC(tech, spec, args, out)
+		return runMC(tech, args, out)
 	case "techeval":
 		fmt.Fprint(out, techeval.Characterize(tech, techno.NMOS).Summary()+"\n")
 		fmt.Fprint(out, techeval.Characterize(tech, techno.PMOS).Summary()+"\n")
@@ -97,7 +107,7 @@ func run(cmd string, args []string, out io.Writer) error {
 	case "trace":
 		return runTrace(tech, spec, args, out)
 	case "corners":
-		return runCorners(tech, spec, out)
+		return runCorners(tech, args, out)
 	case "serve":
 		return serve.CLI(args, out)
 	default:
@@ -107,7 +117,19 @@ func run(cmd string, args []string, out io.Writer) error {
 
 func usage() {
 	fmt.Fprintln(os.Stderr,
-		`usage: loas <fig2|fig3|table1|fig5|flow|netlist|mc|techeval|twostage|converge|trace|corners|serve> [flags]`)
+		`usage: loas <fig2|fig3|table1|fig5|flow|netlist|synth|topologies|mc|techeval|twostage|converge|trace|corners|serve> [flags]`)
+}
+
+// topoSpec resolves a -topology flag value to its canonical plan name
+// and that plan's default specification. Unknown names surface the
+// registry's error (listing every registered topology) as a non-zero
+// exit.
+func topoSpec(topology string) (string, sizing.OTASpec, error) {
+	plan, err := sizing.Lookup(topology)
+	if err != nil {
+		return "", sizing.OTASpec{}, err
+	}
+	return plan.Name, plan.DefaultSpec(), nil
 }
 
 // writeJSON shares the daemon's encoder so `loas -json` output is
@@ -119,8 +141,9 @@ func writeJSON(out io.Writer, v any) error {
 	return enc.Encode(v)
 }
 
-func runMC(tech *techno.Tech, spec sizing.OTASpec, args []string, out io.Writer) error {
+func runMC(tech *techno.Tech, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("mc", flag.ExitOnError)
+	topology := fs.String("topology", "", "design plan to analyze (default folded-cascode; see `loas topologies`)")
 	n := fs.Int("n", 25, "number of Monte-Carlo samples")
 	seed := fs.Int64("seed", 1, "random seed")
 	workers := fs.Int("workers", 0, "worker goroutines (0 = all CPUs, 1 = serial; same statistics either way)")
@@ -129,7 +152,11 @@ func runMC(tech *techno.Tech, spec sizing.OTASpec, args []string, out io.Writer)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	rep, err := serve.RunMC(tech, spec, *caseN, *n, *seed, *workers)
+	name, spec, err := topoSpec(*topology)
+	if err != nil {
+		return err
+	}
+	rep, err := serve.RunMC(tech, spec, name, *caseN, *n, *seed, *workers)
 	if err != nil {
 		return err
 	}
@@ -220,8 +247,17 @@ func runTwoStage(tech *techno.Tech, args []string, out io.Writer) error {
 	return nil
 }
 
-func runCorners(tech *techno.Tech, spec sizing.OTASpec, out io.Writer) error {
-	res, err := core.Synthesize(tech, spec, core.Options{Case: 4})
+func runCorners(tech *techno.Tech, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("corners", flag.ExitOnError)
+	topology := fs.String("topology", "", "design plan to verify (default folded-cascode; see `loas topologies`)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	name, spec, err := topoSpec(*topology)
+	if err != nil {
+		return err
+	}
+	res, err := core.Synthesize(tech, spec, core.Options{Topology: name, Case: 4})
 	if err != nil {
 		return err
 	}
@@ -229,7 +265,7 @@ func runCorners(tech *techno.Tech, spec sizing.OTASpec, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintln(out, "process-corner verification of the case-4 design (tracking bias):")
+	fmt.Fprintf(out, "process-corner verification of the case-4 %s design (tracking bias):\n", res.Topology)
 	for _, c := range []techno.Corner{techno.CornerSS, techno.CornerSF,
 		techno.CornerTT, techno.CornerFS, techno.CornerFF} {
 		p := corners[c]
@@ -327,6 +363,71 @@ func runFig5(tech *techno.Tech, spec sizing.OTASpec, args []string, out io.Write
 		return err
 	}
 	fmt.Fprintln(out, "wrote", *svg)
+	return nil
+}
+
+// runSynth is the topology-generic entry point: one full
+// layout-in-the-loop synthesis of any registered design plan, reporting
+// the summary and the convergence trace the loop recorded.
+func runSynth(tech *techno.Tech, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("synth", flag.ExitOnError)
+	topology := fs.String("topology", "", "design plan to synthesize (default folded-cascode; see `loas topologies`)")
+	caseN := fs.Int("case", 4, "parasitic-awareness case (1-4)")
+	maxCalls := fs.Int("maxcalls", 8, "layout-call bound of the convergence loop")
+	skipVerify := fs.Bool("skipverify", false, "skip the extracted-netlist measurement")
+	asJSON := fs.Bool("json", false, "emit the summary and trace as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	name, spec, err := topoSpec(*topology)
+	if err != nil {
+		return err
+	}
+	res, err := core.Synthesize(tech, spec, core.Options{
+		Topology:       name,
+		Case:           *caseN,
+		MaxLayoutCalls: *maxCalls,
+		SkipVerify:     *skipVerify,
+	})
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		s := res.Summary()
+		s.Case = *caseN
+		return writeJSON(out, struct {
+			Summary    core.Summary    `json:"summary"`
+			Iterations []obs.Iteration `json:"iterations"`
+		}{s, res.Trace})
+	}
+	fmt.Fprintf(out, "%s case %d: %d layout calls, %d sizing passes (%s)\n",
+		res.Topology, *caseN, res.LayoutCalls, res.SizingPasses, res.Elapsed.Round(1e6))
+	for _, row := range sizing.RowNames() {
+		fmt.Fprintln(out, "  "+res.Synthesized.Row(row, res.Extracted))
+	}
+	if res.Parasitics != nil {
+		fmt.Fprintf(out, "layout: %.1f x %.1f um, %.0f um2\n",
+			res.Parasitics.WidthUM, res.Parasitics.HeightUM, res.Parasitics.AreaUM2)
+	}
+	fmt.Fprintln(out, "\nconvergence trace:")
+	_, err = io.WriteString(out, obs.ConvergenceTable(res.Trace))
+	return err
+}
+
+// runTopologies lists the registered design plans.
+func runTopologies(out io.Writer) error {
+	for _, name := range sizing.Topologies() {
+		plan, err := sizing.Lookup(name)
+		if err != nil {
+			return err
+		}
+		mark := " "
+		if name == sizing.DefaultTopology {
+			mark = "*"
+		}
+		fmt.Fprintf(out, "%s %-16s %s\n", mark, name, plan.Description)
+	}
+	fmt.Fprintln(out, "(* = default)")
 	return nil
 }
 

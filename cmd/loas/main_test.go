@@ -171,3 +171,75 @@ func TestUnknownCommandExitsUsage(t *testing.T) {
 		t.Fatalf("want errUnknownCommand, got %v", err)
 	}
 }
+
+func TestSmokeTopologies(t *testing.T) {
+	out := runOut(t, "topologies")
+	for _, want := range []string{"folded-cascode", "two-stage", "five-t", "(* = default)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("topologies output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSmokeSynthEveryTopology drives `loas synth -topology T` for all
+// three registered plans — the CLI face of the acceptance criterion
+// that each topology completes the sizing↔layout convergence loop and
+// emits a convergence trace.
+func TestSmokeSynthEveryTopology(t *testing.T) {
+	if testing.Short() {
+		t.Skip("synth runs full case-4 synthesis with verification")
+	}
+	for _, topo := range []string{"folded-cascode", "two-stage", "five-t"} {
+		out := runOut(t, "synth", "-topology", topo)
+		for _, want := range []string{topo + " case 4", "convergence trace:", "Parasitic convergence", "GBW"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("synth -topology %s missing %q:\n%s", topo, want, out)
+			}
+		}
+	}
+}
+
+func TestSmokeSynthJSON(t *testing.T) {
+	out := runOut(t, "synth", "-topology", "five-t", "-json", "-skipverify")
+	var rep struct {
+		Summary struct {
+			Topology    string `json:"topology"`
+			LayoutCalls int    `json:"layout_calls"`
+		} `json:"summary"`
+		Iterations []struct {
+			Topology string `json:"topology"`
+			Call     int    `json:"call"`
+		} `json:"iterations"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("synth -json not parseable: %v\n%s", err, out)
+	}
+	if rep.Summary.Topology != "five-t" || rep.Summary.LayoutCalls < 2 {
+		t.Fatalf("summary implausible: %+v", rep.Summary)
+	}
+	if len(rep.Iterations) < 2 || rep.Iterations[0].Topology != "five-t" {
+		t.Fatalf("iterations not labelled: %+v", rep.Iterations)
+	}
+}
+
+// TestUnknownTopologyExitsNonZero: the CLI must fail with the
+// registry's message listing every registered plan — same text the
+// daemon returns as a 400.
+func TestUnknownTopologyExitsNonZero(t *testing.T) {
+	for _, cmd := range []string{"synth", "mc", "corners"} {
+		var buf bytes.Buffer
+		err := run(cmd, []string{"-topology", "no-such-ota"}, &buf)
+		if err == nil {
+			t.Fatalf("loas %s -topology no-such-ota succeeded", cmd)
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, "unknown topology") || !strings.Contains(msg, "registered:") {
+			t.Fatalf("loas %s error %q lacks the registry listing", cmd, msg)
+		}
+		for _, name := range []string{"folded-cascode", "two-stage", "five-t"} {
+			if !strings.Contains(msg, name) {
+				t.Fatalf("loas %s error %q does not list %q", cmd, msg, name)
+			}
+		}
+	}
+}

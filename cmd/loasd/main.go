@@ -11,6 +11,8 @@
 //
 //	loasd -addr 127.0.0.1:8086 &
 //	curl -s -X POST http://127.0.0.1:8086/v1/table1 | head
+//	curl -s http://127.0.0.1:8086/v1/topologies
+//	curl -s http://127.0.0.1:8086/v1/synthesize -d '{"topology":"two-stage"}'
 //	curl -s http://127.0.0.1:8086/stats
 //	curl -s http://127.0.0.1:8086/metrics | grep loas_
 package main

@@ -29,7 +29,8 @@ func main() {
 	}
 	fmt.Printf("\nlayout: %.1f x %.1f um, %.0f um2\n",
 		res.Parasitics.WidthUM, res.Parasitics.HeightUM, res.Parasitics.AreaUM2)
+	op := res.Design.OperatingPoint()
 	fmt.Printf("devices: input pair %.1f um / %.2f um, cascode length %.2f um, tail %.0f uA\n",
-		res.Design.Devices[sizing.MP1].W*1e6, res.Design.Devices[sizing.MP1].L*1e6,
-		res.Design.Lc*1e6, res.Design.Itail*1e6)
+		res.Design.DeviceTable()[sizing.MP1].W*1e6, res.Design.DeviceTable()[sizing.MP1].L*1e6,
+		op.Lc*1e6, op.Itail*1e6)
 }

@@ -11,6 +11,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"loas/internal/circuit"
@@ -25,6 +26,9 @@ import (
 
 // Options configures a synthesis run.
 type Options struct {
+	// Topology names the registered design plan to run ("" means the
+	// default folded-cascode, keeping existing callers bit-identical).
+	Topology string
 	// Case selects the parasitic awareness level (the paper's Table-1
 	// cases 1–4). Case 4 is the full methodology.
 	Case int
@@ -59,7 +63,11 @@ func (o *Options) defaults() {
 
 // Result is a finished synthesis.
 type Result struct {
-	Design     *sizing.FoldedCascode
+	// Topology is the canonical name of the plan that ran.
+	Topology string
+	// Spec is the specification the plan was sized against.
+	Spec       sizing.OTASpec
+	Design     sizing.Design
 	Layout     *cairo.Plan
 	Parasitics *extract.Parasitics
 
@@ -81,7 +89,13 @@ type Result struct {
 	Trace []obs.Iteration
 }
 
-// Synthesize runs the layout-oriented flow for the folded-cascode OTA.
+// metricName makes a topology name safe for a Prometheus metric name.
+func metricName(topology string) string {
+	return strings.NewReplacer("-", "_", ".", "_").Replace(topology)
+}
+
+// Synthesize runs the layout-oriented flow for the topology named in
+// opts (default: the paper's folded-cascode OTA).
 //
 // Cases 1 and 2 use no layout feedback, so a single sizing pass is
 // followed by one generation call. Cases 3 and 4 iterate sizing ↔ layout
@@ -90,20 +104,26 @@ type Result struct {
 func Synthesize(tech *techno.Tech, spec sizing.OTASpec, opts Options) (*Result, error) {
 	opts.defaults()
 	start := time.Now()
+	plan, err := sizing.Lookup(opts.Topology)
+	if err != nil {
+		return nil, err
+	}
 	ps, err := sizing.Case(opts.Case)
 	if err != nil {
 		return nil, err
 	}
+	obs.Default.Counter("loas_synth_runs_"+metricName(plan.Name)+"_total",
+		"Synthesis runs for topology "+plan.Name+".").Inc()
 
-	res := &Result{}
+	res := &Result{Topology: plan.Name, Spec: spec}
 	var par *extract.Parasitics
-	var design *sizing.FoldedCascode
+	var design sizing.Design
 	usesLayoutInfo := ps.Junction == extract.JunctionExact || ps.Routing
 
 	for call := 1; call <= opts.MaxLayoutCalls; call++ {
 		ps.Report = par
 		sizeStart := time.Now()
-		design, err = sizing.SizeFoldedCascode(tech, spec, ps)
+		design, err = plan.Size(tech, spec, ps)
 		if err != nil {
 			return nil, fmt.Errorf("core: sizing pass %d: %w", call, err)
 		}
@@ -111,15 +131,15 @@ func Synthesize(tech *techno.Tech, spec sizing.OTASpec, opts Options) (*Result, 
 		res.SizingPasses++
 
 		layoutStart := time.Now()
-		plan, err := design.Layout().Plan(tech, opts.Shape)
+		lay, err := design.Layout().Plan(tech, opts.Shape)
 		if err != nil {
 			return nil, fmt.Errorf("core: layout call %d: %w", call, err)
 		}
 		layoutNS := time.Since(layoutStart).Nanoseconds()
 		res.LayoutCalls++
-		newPar := plan.Parasitics
+		newPar := lay.Parasitics
 		newPar.LayoutCalls = res.LayoutCalls
-		res.Layout = plan
+		res.Layout = lay
 
 		// Record the iteration before the convergence decision so the
 		// trace always covers every layout call, including the last.
@@ -127,16 +147,18 @@ func Synthesize(tech *techno.Tech, spec sizing.OTASpec, opts Options) (*Result, 
 		if par != nil {
 			delta = extract.MaxDelta(par, newPar)
 		}
+		op := design.OperatingPoint()
 		it := obs.Iteration{
+			Topology:  plan.Name,
 			Call:      call,
 			DeltaF:    delta,
 			OutCapF:   newPar.TotalNetCap(sizing.NetOut),
-			FN1CapF:   newPar.TotalNetCap(sizing.NetFN1),
+			FN1CapF:   newPar.TotalNetCap(design.HotNet()),
 			TotalCapF: newPar.TotalCap(),
 			Folds:     newPar.TotalFolds(),
-			W1:        design.Devices[sizing.MP1].W,
-			Lc:        design.Lc,
-			Itail:     design.Itail,
+			W1:        op.W1,
+			Lc:        op.Lc,
+			Itail:     op.Itail,
 			SizingNS:  sizingNS,
 			LayoutNS:  layoutNS,
 		}
@@ -160,15 +182,15 @@ func Synthesize(tech *techno.Tech, spec sizing.OTASpec, opts Options) (*Result, 
 
 	res.Design = design
 	res.Parasitics = par
-	res.Synthesized = design.Predicted
+	res.Synthesized = design.PredictedPerf()
 
 	if !opts.SkipVerify {
 		// Synthesized column: the sizing tool's own verification — the
 		// assumed netlist (its parasitic view of the world) measured with
 		// the same suite, so any Table-1 mismatch is purely the
 		// parasitics each case ignores.
-		synth, err := meas.Measure(OTABench(tech, design, func() *circuit.Circuit {
-			return design.AssumedNetlist("fc-assumed")
+		synth, err := meas.Measure(OTABench(tech, spec, design, func() *circuit.Circuit {
+			return design.AssumedNetlist("assumed")
 		}))
 		if err != nil {
 			return nil, fmt.Errorf("core: synthesized verification: %w", err)
@@ -176,7 +198,7 @@ func Synthesize(tech *techno.Tech, spec sizing.OTASpec, opts Options) (*Result, 
 		res.Synthesized = synth.Perf
 		res.Synthesized.Offset = 0 // by construction of a symmetric schematic
 
-		perf, ckt, err := VerifyExtracted(tech, design, par)
+		perf, ckt, err := VerifyExtracted(tech, spec, design, par)
 		if err != nil {
 			return nil, fmt.Errorf("core: extracted verification: %w", err)
 		}
@@ -190,21 +212,21 @@ func Synthesize(tech *techno.Tech, spec sizing.OTASpec, opts Options) (*Result, 
 // ExtractedNetlist builds the amplifier netlist with the full layout
 // parasitics applied: exact junction geometry, realized (grid-snapped)
 // widths, wiring, coupling and well capacitance.
-func ExtractedNetlist(tech *techno.Tech, d *sizing.FoldedCascode, par *extract.Parasitics) *circuit.Circuit {
-	ckt := d.Netlist("fc-extracted")
+func ExtractedNetlist(tech *techno.Tech, d sizing.Design, par *extract.Parasitics) *circuit.Circuit {
+	ckt := d.Netlist("extracted")
 	par.Apply(ckt, extract.ApplyOptions{
 		Junction: extract.JunctionExact,
 		Routing:  true,
 	}, func(_ string, w float64) device.DiffGeom {
 		return device.OneFoldGeom(tech, w)
-	}, sizing.ACGroundNets()...)
+	}, d.ACGroundNets()...)
 	return ckt
 }
 
-// OTABench builds the measurement bench for a sized folded-cascode OTA
-// over an arbitrary netlist builder.
-func OTABench(tech *techno.Tech, d *sizing.FoldedCascode, build func() *circuit.Circuit) meas.Bench {
-	spec := d.Spec
+// OTABench builds the measurement bench for any sized OTA design over an
+// arbitrary netlist builder. The specification supplies the bench
+// operating points (common mode, output mid-swing, load).
+func OTABench(tech *techno.Tech, spec sizing.OTASpec, d sizing.Design, build func() *circuit.Circuit) meas.Bench {
 	vicm := 0.5 * (spec.ICMLow + spec.ICMHigh)
 	if vicm < 0.3 {
 		vicm = 0.3
@@ -225,8 +247,8 @@ func OTABench(tech *techno.Tech, d *sizing.FoldedCascode, build func() *circuit.
 
 // VerifyExtracted measures the extracted netlist — the bracketed column
 // of Table 1.
-func VerifyExtracted(tech *techno.Tech, d *sizing.FoldedCascode, par *extract.Parasitics) (*sizing.Performance, *circuit.Circuit, error) {
-	bench := OTABench(tech, d, func() *circuit.Circuit {
+func VerifyExtracted(tech *techno.Tech, spec sizing.OTASpec, d sizing.Design, par *extract.Parasitics) (*sizing.Performance, *circuit.Circuit, error) {
+	bench := OTABench(tech, spec, d, func() *circuit.Circuit {
 		return ExtractedNetlist(tech, d, par)
 	})
 	rep, err := meas.Measure(bench)
@@ -238,7 +260,7 @@ func VerifyExtracted(tech *techno.Tech, d *sizing.FoldedCascode, par *extract.Pa
 
 // TraditionalResult reports the Fig. 1(a) baseline run.
 type TraditionalResult struct {
-	Design       *sizing.FoldedCascode
+	Design       sizing.Design
 	Parasitics   *extract.Parasitics
 	Extracted    sizing.Performance
 	Iterations   int // full size→layout→extract→simulate loops
@@ -271,7 +293,7 @@ func TraditionalFlow(tech *techno.Tech, spec sizing.OTASpec, maxIter int, shape 
 		if err != nil {
 			return nil, fmt.Errorf("core: traditional layout %d: %w", iter, err)
 		}
-		perf, _, err := VerifyExtracted(tech, d, plan.Parasitics)
+		perf, _, err := VerifyExtracted(tech, target, d, plan.Parasitics)
 		if err != nil {
 			return nil, fmt.Errorf("core: traditional verify %d: %w", iter, err)
 		}

@@ -315,7 +315,7 @@ func TestParasiticFixpoint(t *testing.T) {
 	// Re-running the layout on the converged design changes nothing
 	// beyond the convergence tolerance.
 	res := allCases(t)[4]
-	plan, err := res.Design.Layout().Plan(res.Design.Tech, Options{}.Shape)
+	plan, err := res.Design.Layout().Plan(techno.Default060(), Options{}.Shape)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -28,26 +28,20 @@ func VerifyAtCorner(tech *techno.Tech, corner techno.Corner, res *Result) (*sizi
 	if err != nil {
 		return nil, fmt.Errorf("core: corner %s bias: %w", corner, err)
 	}
+	sources := res.Design.BiasSources()
 	build := func() *circuit.Circuit {
 		ckt := ExtractedNetlist(tech, res.Design, res.Parasitics)
 		for _, m := range ckt.MOSFETs() {
 			m.Dev.Card = ct.Card(m.Dev.Card.Type)
 		}
 		for _, v := range ckt.VSources() {
-			switch v.Name {
-			case "bn":
-				v.DC = bias[sizing.NetVBN]
-			case "bp":
-				v.DC = bias[sizing.NetVBP]
-			case "c1":
-				v.DC = bias[sizing.NetVC1]
-			case "c3":
-				v.DC = bias[sizing.NetVC3]
+			if net, ok := sources[v.Name]; ok {
+				v.DC = bias[net]
 			}
 		}
 		return ckt
 	}
-	rep, err := meas.Measure(OTABench(tech, res.Design, build))
+	rep, err := meas.Measure(OTABench(tech, res.Spec, res.Design, build))
 	if err != nil {
 		return nil, fmt.Errorf("core: corner %s: %w", corner, err)
 	}

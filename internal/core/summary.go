@@ -8,6 +8,7 @@ import "loas/internal/sizing"
 // The JSON tags define the wire format shared by the CLI and the
 // server.
 type Summary struct {
+	Topology     string             `json:"topology,omitempty"`
 	Case         int                `json:"case,omitempty"`
 	Synthesized  sizing.Performance `json:"synthesized"`
 	Extracted    sizing.Performance `json:"extracted"`
@@ -23,6 +24,7 @@ type Summary struct {
 // field is not known to the Result itself; callers set it afterwards.
 func (r *Result) Summary() Summary {
 	s := Summary{
+		Topology:     r.Topology,
 		Synthesized:  r.Synthesized,
 		Extracted:    r.Extracted,
 		LayoutCalls:  r.LayoutCalls,

@@ -23,7 +23,11 @@ import (
 // the layout tool were needed"). The JSON tags are the wire format of
 // GET /v1/trace/{key} and `loas trace -json`.
 type Iteration struct {
-	Call int `json:"call"` // 1-based layout-call number
+	// Topology labels the design plan that produced the iteration
+	// (omitted on the wire when unset, so traces recorded before the
+	// label existed decode and compare unchanged).
+	Topology string `json:"topology,omitempty"`
+	Call     int    `json:"call"` // 1-based layout-call number
 	// DeltaF is the max parasitic change vs the previous report in
 	// farads (extract.MaxDelta); -1 on the first call, which has no
 	// previous report to diff against.

@@ -1,6 +1,8 @@
 package repro
 
 import (
+	"fmt"
+
 	"loas/internal/core"
 	"loas/internal/obs"
 	"loas/internal/sizing"
@@ -53,9 +55,13 @@ func RunEvalAblation(tech *techno.Tech, spec sizing.OTASpec) (*EvalAblation, err
 	if err != nil {
 		return nil, err
 	}
+	fc, ok := res.Design.(*sizing.FoldedCascode)
+	if !ok {
+		return nil, fmt.Errorf("repro: eval ablation needs the folded-cascode plan, got %T", res.Design)
+	}
 	return &EvalAblation{
-		PMAnalytic:  res.Design.PMAnalytic,
-		PMSimulated: res.Design.Predicted.PhaseDeg,
+		PMAnalytic:  fc.PMAnalytic,
+		PMSimulated: fc.Predicted.PhaseDeg,
 		PMExtracted: res.Extracted.PhaseDeg,
 	}, nil
 }

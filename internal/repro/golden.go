@@ -98,14 +98,15 @@ func BuildGolden(tech *techno.Tech, spec sizing.OTASpec, cases []Table1Case) *Go
 	}
 	for _, c := range cases {
 		r := c.Result
+		op := r.Design.OperatingPoint()
 		gc := GoldenCase{
 			Case:         c.Case,
 			Synthesized:  goldenPerf(r.Synthesized),
 			Extracted:    goldenPerf(r.Extracted),
 			LayoutCalls:  r.LayoutCalls,
 			SizingPasses: r.SizingPasses,
-			Itail:        hexF(r.Design.Itail),
-			Lc:           hexF(r.Design.Lc),
+			Itail:        hexF(op.Itail),
+			Lc:           hexF(op.Lc),
 			Devices:      map[string]GoldenDevice{},
 		}
 		if r.Parasitics != nil {
@@ -113,7 +114,7 @@ func BuildGolden(tech *techno.Tech, spec sizing.OTASpec, cases []Table1Case) *Go
 			gc.HeightUM = hexF(r.Parasitics.HeightUM)
 			gc.AreaUM2 = hexF(r.Parasitics.AreaUM2)
 		}
-		for name, d := range r.Design.Devices {
+		for name, d := range r.Design.DeviceTable() {
 			gc.Devices[name] = GoldenDevice{W: hexF(d.W), L: hexF(d.L)}
 		}
 		rep.Cases = append(rep.Cases, gc)

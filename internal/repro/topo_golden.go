@@ -1,0 +1,25 @@
+package repro
+
+import (
+	"loas/internal/core"
+	"loas/internal/sizing"
+	"loas/internal/techno"
+)
+
+// TopologyGolden runs the full case-4 layout-in-the-loop synthesis for
+// one registered topology under its default specification and projects
+// the result onto the golden schema — the same hex-exact encoding and
+// differ as the Table-1 golden, so each topology's converged sizing is
+// pinned to the ulp independently of the others.
+func TopologyGolden(tech *techno.Tech, topology string) (*GoldenReport, error) {
+	plan, err := sizing.Lookup(topology)
+	if err != nil {
+		return nil, err
+	}
+	spec := plan.DefaultSpec()
+	res, err := core.Synthesize(tech, spec, core.Options{Topology: plan.Name, Case: 4})
+	if err != nil {
+		return nil, err
+	}
+	return BuildGolden(tech, spec, []Table1Case{{Case: 4, Result: res}}), nil
+}

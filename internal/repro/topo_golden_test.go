@@ -1,0 +1,65 @@
+package repro
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"loas/internal/techno"
+)
+
+// TestTopologyGoldens diffs a live case-4 run of each non-default
+// topology against its committed bit-exact golden (the folded cascode
+// is covered by the four-case Table-1 golden). Re-bless after an
+// intentional model change with
+//
+//	go test ./internal/repro -run TestTopologyGoldens -update
+func TestTopologyGoldens(t *testing.T) {
+	cases := []struct {
+		topology string
+		path     string
+	}{
+		{"two-stage", "testdata/twostage_golden.json"},
+		{"five-t", "testdata/fivet_golden.json"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.topology, func(t *testing.T) {
+			t.Parallel()
+			got, err := TopologyGolden(techno.Default060(), tc.topology)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if *updateGolden {
+				data, err := json.MarshalIndent(got, "", "  ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.MkdirAll(filepath.Dir(tc.path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(tc.path, append(data, '\n'), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("rewrote %s", tc.path)
+				return
+			}
+
+			data, err := os.ReadFile(tc.path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			var want GoldenReport
+			if err := json.Unmarshal(data, &want); err != nil {
+				t.Fatalf("corrupt golden file: %v", err)
+			}
+			if diffs := DiffGolden(&want, got); len(diffs) > 0 {
+				t.Fatalf("live %s run diverges from %s in %d field(s):\n  %s\n(re-bless with -update if intentional)",
+					tc.topology, tc.path, len(diffs), strings.Join(diffs, "\n  "))
+			}
+		})
+	}
+}

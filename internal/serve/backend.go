@@ -16,15 +16,24 @@ import (
 )
 
 // SynthesizeRequest is the body of POST /v1/synthesize: one Table-1
-// case. A missing spec means the paper's 65 MHz default.
+// case. A missing spec means the topology's default specification; a
+// missing topology means the paper's folded-cascode OTA.
 type SynthesizeRequest struct {
-	Case           int             `json:"case,omitempty"` // 1-4, default 4
+	Topology       string          `json:"topology,omitempty"` // registered plan name, default folded-cascode
+	Case           int             `json:"case,omitempty"`     // 1-4, default 4
 	Spec           *sizing.OTASpec `json:"spec,omitempty"`
 	MaxLayoutCalls int             `json:"max_layout_calls,omitempty"`
 	SkipVerify     bool            `json:"skip_verify,omitempty"`
 }
 
 func (r *SynthesizeRequest) normalize() error {
+	plan, err := sizing.Lookup(r.Topology)
+	if err != nil {
+		return err
+	}
+	// Canonicalize before keying: an absent topology and the explicit
+	// default hash to the same cache entry.
+	r.Topology = plan.Name
 	if r.Case == 0 {
 		r.Case = 4
 	}
@@ -36,6 +45,7 @@ func (r *SynthesizeRequest) normalize() error {
 
 func (r *SynthesizeRequest) cacheKey(tech *techno.Tech, spec sizing.OTASpec) string {
 	k := newKey("synthesize", tech)
+	k.str("topology", r.Topology)
 	k.spec(spec)
 	k.int("case", int64(r.Case))
 	k.int("maxcalls", int64(r.MaxLayoutCalls))
@@ -58,14 +68,20 @@ func (r *Table1Request) cacheKey(tech *techno.Tech, spec sizing.OTASpec) string 
 // Workers tunes execution only — the statistics are worker-invariant by
 // construction — so it is excluded from the cache key.
 type MCRequest struct {
-	N       int             `json:"n,omitempty"`    // samples, default 25
-	Seed    int64           `json:"seed,omitempty"` // default 1
-	Case    int             `json:"case,omitempty"` // parasitic-awareness level of the design, default 1
-	Workers int             `json:"workers,omitempty"`
-	Spec    *sizing.OTASpec `json:"spec,omitempty"`
+	Topology string          `json:"topology,omitempty"` // registered plan name, default folded-cascode
+	N        int             `json:"n,omitempty"`        // samples, default 25
+	Seed     int64           `json:"seed,omitempty"`     // default 1
+	Case     int             `json:"case,omitempty"`     // parasitic-awareness level of the design, default 1
+	Workers  int             `json:"workers,omitempty"`
+	Spec     *sizing.OTASpec `json:"spec,omitempty"`
 }
 
 func (r *MCRequest) normalize() error {
+	plan, err := sizing.Lookup(r.Topology)
+	if err != nil {
+		return err
+	}
+	r.Topology = plan.Name
 	if r.N == 0 {
 		r.N = 25
 	}
@@ -86,6 +102,7 @@ func (r *MCRequest) normalize() error {
 
 func (r *MCRequest) cacheKey(tech *techno.Tech, spec sizing.OTASpec) string {
 	k := newKey("mc", tech)
+	k.str("topology", r.Topology)
 	k.spec(spec)
 	k.int("n", int64(r.N))
 	k.int("seed", r.Seed)
@@ -96,6 +113,7 @@ func (r *MCRequest) cacheKey(tech *techno.Tech, spec sizing.OTASpec) string {
 // MCReport is the serializable Monte-Carlo result shared by
 // `loas mc -json` and POST /v1/mc.
 type MCReport struct {
+	Topology        string         `json:"topology,omitempty"`
 	Case            int            `json:"case"`
 	Seed            int64          `json:"seed"`
 	Stats           mc.OffsetStats `json:"stats"`
@@ -131,6 +149,7 @@ type StdBackend struct {
 // the convergence trace of the run.
 func (b *StdBackend) Synthesize(_ context.Context, spec sizing.OTASpec, req *SynthesizeRequest) ([]byte, []obs.Iteration, error) {
 	res, err := core.Synthesize(b.Tech, spec, core.Options{
+		Topology:       req.Topology,
 		Case:           req.Case,
 		MaxLayoutCalls: req.MaxLayoutCalls,
 		SkipVerify:     req.SkipVerify,
@@ -160,7 +179,7 @@ func (b *StdBackend) Table1(_ context.Context, spec sizing.OTASpec) ([]byte, err
 // MC sizes the requested case's design and runs the mismatch
 // Monte-Carlo on it.
 func (b *StdBackend) MC(_ context.Context, spec sizing.OTASpec, req *MCRequest) ([]byte, error) {
-	rep, err := RunMC(b.Tech, spec, req.Case, req.N, req.Seed, req.Workers)
+	rep, err := RunMC(b.Tech, spec, req.Topology, req.Case, req.N, req.Seed, req.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -182,14 +201,18 @@ func (b *StdBackend) LayoutSVG(_ context.Context, spec sizing.OTASpec) ([]byte, 
 }
 
 // RunMC is the shared Monte-Carlo pipeline behind `loas mc` and
-// POST /v1/mc: size the case design, fan the samples across the worker
-// pool, attach the analytic Pelgrom estimate.
-func RunMC(tech *techno.Tech, spec sizing.OTASpec, caseN, n int, seed int64, workers int) (*MCReport, error) {
+// POST /v1/mc: size the named topology's case design, fan the samples
+// across the worker pool, attach the analytic Pelgrom estimate.
+func RunMC(tech *techno.Tech, spec sizing.OTASpec, topology string, caseN, n int, seed int64, workers int) (*MCReport, error) {
+	plan, err := sizing.Lookup(topology)
+	if err != nil {
+		return nil, err
+	}
 	ps, err := sizing.Case(caseN)
 	if err != nil {
 		return nil, err
 	}
-	d, err := sizing.SizeFoldedCascode(tech, spec, ps)
+	d, err := plan.Size(tech, spec, ps)
 	if err != nil {
 		return nil, err
 	}
@@ -208,10 +231,17 @@ func RunMC(tech *techno.Tech, spec sizing.OTASpec, caseN, n int, seed int64, wor
 	if err != nil {
 		return nil, err
 	}
-	est := mc.EstimateOffsetSigma(&tech.P,
-		d.Devices[sizing.MP1].W, d.Devices[sizing.MP1].L,
-		&tech.N, d.Devices[sizing.MN5].W, d.Devices[sizing.MN5].L, 0.7)
-	return &MCReport{Case: caseN, Seed: seed, Stats: *stats, AnalyticSigmaV: est}, nil
+	card := func(t techno.MOSType) *techno.MOSCard {
+		if t == techno.PMOS {
+			return &tech.P
+		}
+		return &tech.N
+	}
+	pair, load, gmRatio := d.OffsetRefs()
+	est := mc.EstimateOffsetSigma(card(pair.Type), pair.W, pair.L,
+		card(load.Type), load.W, load.L, gmRatio)
+	return &MCReport{Topology: plan.Name, Case: caseN, Seed: seed,
+		Stats: *stats, AnalyticSigmaV: est}, nil
 }
 
 // marshalJSON is the one JSON encoder for every cacheable body:

@@ -33,12 +33,15 @@ func specFromFields(f [8]float64) sizing.OTASpec {
 }
 
 // FuzzCanonicalKey checks the two directions of the content-addressed
-// key contract on SynthesizeRequest.cacheKey:
+// key contract on SynthesizeRequest.cacheKey (after normalize, which is
+// how the server always keys — an absent topology is canonicalized to
+// the default name before hashing):
 //
 //   - equal requests (where "equal" treats all NaN bit patterns alike
 //     and distinguishes +0 from -0) hash to equal keys, and
 //   - perturbing any single spec field — including by one ulp, a sign
-//     flip on zero, or into NaN — or any request field changes the key.
+//     flip on zero, or into NaN — or any request field, including the
+//     topology, changes the key.
 //
 // The fuzzer drives spec A directly, derives spec B by XORing `xorBits`
 // into the bit pattern of field `field%9` (9 selects "no perturbation"),
@@ -46,20 +49,21 @@ func specFromFields(f [8]float64) sizing.OTASpec {
 func FuzzCanonicalKey(f *testing.F) {
 	// Identity, 1-ulp, signed zero, and NaN seeds around the default spec.
 	d := specFields(sizing.Default65MHz())
-	seed := func(field uint8, xor uint64, caseN, maxCalls uint8, skip bool) {
-		f.Add(d[0], d[1], d[2], d[3], d[4], d[5], d[6], d[7], field, xor, caseN, maxCalls, skip)
+	seed := func(field uint8, xor uint64, caseN, maxCalls uint8, skip bool, topo uint8) {
+		f.Add(d[0], d[1], d[2], d[3], d[4], d[5], d[6], d[7], field, xor, caseN, maxCalls, skip, topo)
 	}
-	seed(9, 0, 1, 0, false)                            // identical specs
-	seed(0, 1, 1, 0, false)                            // vdd off by one ulp
-	seed(3, 1<<63, 4, 3, true)                         // cl sign flip
-	seed(6, math.Float64bits(math.NaN()), 2, 0, false) // outl -> NaN-ish
+	seed(9, 0, 1, 0, false, 0)                            // identical specs
+	seed(0, 1, 1, 0, false, 0)                            // vdd off by one ulp
+	seed(3, 1<<63, 4, 3, true, 1)                         // cl sign flip, non-default topology
+	seed(6, math.Float64bits(math.NaN()), 2, 0, false, 2) // outl -> NaN-ish
 	z := d
 	z[6] = 0
-	f.Add(z[0], z[1], z[2], z[3], z[4], z[5], z[6], z[7], uint8(6), uint64(1)<<63, uint8(1), uint8(0), false) // +0 vs -0
+	f.Add(z[0], z[1], z[2], z[3], z[4], z[5], z[6], z[7], uint8(6), uint64(1)<<63, uint8(1), uint8(0), false, uint8(0)) // +0 vs -0
 
 	tech := techno.Default060()
+	names := sizing.Topologies()
 	f.Fuzz(func(t *testing.T, f0, f1, f2, f3, f4, f5, f6, f7 float64,
-		field uint8, xorBits uint64, caseN, maxCalls uint8, skip bool) {
+		field uint8, xorBits uint64, caseN, maxCalls uint8, skip bool, topo uint8) {
 		a := [8]float64{f0, f1, f2, f3, f4, f5, f6, f7}
 		b := a
 		if i := int(field % 9); i < 8 {
@@ -67,9 +71,13 @@ func FuzzCanonicalKey(f *testing.F) {
 		}
 
 		req := SynthesizeRequest{
+			Topology:       names[int(topo)%len(names)],
 			Case:           1 + int(caseN%4),
 			MaxLayoutCalls: int(maxCalls % 9),
 			SkipVerify:     skip,
+		}
+		if err := req.normalize(); err != nil {
+			t.Fatalf("normalize rejected a registered topology: %v", err)
 		}
 		keyA := req.cacheKey(tech, specFromFields(a))
 		keyB := req.cacheKey(tech, specFromFields(b))
@@ -87,14 +95,29 @@ func FuzzCanonicalKey(f *testing.F) {
 		}
 
 		// Request-field perturbations must always change the key.
+		otherTopo := names[(int(topo)+1)%len(names)]
 		for _, alt := range []SynthesizeRequest{
-			{Case: 1 + (req.Case % 4), MaxLayoutCalls: req.MaxLayoutCalls, SkipVerify: req.SkipVerify},
-			{Case: req.Case, MaxLayoutCalls: req.MaxLayoutCalls + 1, SkipVerify: req.SkipVerify},
-			{Case: req.Case, MaxLayoutCalls: req.MaxLayoutCalls, SkipVerify: !req.SkipVerify},
+			{Topology: req.Topology, Case: 1 + (req.Case % 4), MaxLayoutCalls: req.MaxLayoutCalls, SkipVerify: req.SkipVerify},
+			{Topology: req.Topology, Case: req.Case, MaxLayoutCalls: req.MaxLayoutCalls + 1, SkipVerify: req.SkipVerify},
+			{Topology: req.Topology, Case: req.Case, MaxLayoutCalls: req.MaxLayoutCalls, SkipVerify: !req.SkipVerify},
+			{Topology: otherTopo, Case: req.Case, MaxLayoutCalls: req.MaxLayoutCalls, SkipVerify: req.SkipVerify},
 		} {
 			if alt.cacheKey(tech, specFromFields(a)) == keyA {
 				t.Fatalf("request perturbation %+v did not change key (base %+v)", alt, req)
 			}
+		}
+
+		// An absent topology must key identically to the explicit default
+		// (normalize canonicalizes it), so existing clients keep their
+		// warm cache entries.
+		absent := SynthesizeRequest{Case: req.Case, MaxLayoutCalls: req.MaxLayoutCalls, SkipVerify: req.SkipVerify}
+		if err := absent.normalize(); err != nil {
+			t.Fatal(err)
+		}
+		wantEqual := req.Topology == sizing.DefaultTopology
+		if (absent.cacheKey(tech, specFromFields(a)) == keyA) != wantEqual {
+			t.Fatalf("absent-topology key equality = %v, want %v (topology %q)",
+				!wantEqual, wantEqual, req.Topology)
 		}
 
 		// Different endpoint kinds must never collide even on one spec.

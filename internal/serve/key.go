@@ -45,6 +45,13 @@ func (k *keyBuilder) num(name string, v float64) {
 	k.b.WriteString(strconv.FormatFloat(v, 'x', -1, 64))
 }
 
+func (k *keyBuilder) str(name, v string) {
+	k.b.WriteByte('|')
+	k.b.WriteString(name)
+	k.b.WriteByte('=')
+	k.b.WriteString(v)
+}
+
 func (k *keyBuilder) int(name string, v int64) {
 	k.b.WriteByte('|')
 	k.b.WriteString(name)

@@ -11,6 +11,7 @@
 //	POST /v1/synthesize   one Table-1 case            → core.Summary JSON
 //	POST /v1/table1       all four cases              → repro.Table1Report JSON
 //	POST /v1/mc           mismatch Monte-Carlo        → MCReport JSON
+//	GET  /v1/topologies   registered design plans     → TopologiesReport JSON
 //	GET  /v1/layout.svg   case-4 generate-mode layout → SVG
 //	GET  /v1/trace/{key}  convergence trace of a synthesis → TraceReport JSON
 //	GET  /healthz         liveness
@@ -75,6 +76,7 @@ type Config struct {
 type Server struct {
 	tech    *techno.Tech
 	spec    sizing.OTASpec
+	specSet bool // Config.Spec was explicit — wins over topology defaults
 	timeout time.Duration
 	backend Backend
 
@@ -118,6 +120,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		tech:    cfg.Tech,
 		spec:    spec,
+		specSet: cfg.Spec != nil,
 		timeout: cfg.Timeout,
 		backend: cfg.Backend,
 		cache:   NewCache(cfg.CacheBytes, cfg.TTL),
@@ -130,6 +133,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/synthesize", s.handleSynthesize)
 	s.mux.HandleFunc("POST /v1/table1", s.handleTable1)
 	s.mux.HandleFunc("POST /v1/mc", s.handleMC)
+	s.mux.HandleFunc("GET /v1/topologies", s.handleTopologies)
 	s.mux.HandleFunc("GET /v1/layout.svg", s.handleLayoutSVG)
 	s.mux.HandleFunc("GET /v1/trace/{key}", s.handleTraceKey)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -203,7 +207,7 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		s.badRequest(w, err)
 		return
 	}
-	spec, err := s.specFor(req.Spec)
+	spec, err := s.specFor(req.Spec, req.Topology)
 	if err != nil {
 		s.badRequest(w, err)
 		return
@@ -252,7 +256,7 @@ func (s *Server) handleTable1(w http.ResponseWriter, r *http.Request) {
 		s.badRequest(w, err)
 		return
 	}
-	spec, err := s.specFor(req.Spec)
+	spec, err := s.specFor(req.Spec, "")
 	if err != nil {
 		s.badRequest(w, err)
 		return
@@ -273,7 +277,7 @@ func (s *Server) handleMC(w http.ResponseWriter, r *http.Request) {
 		s.badRequest(w, err)
 		return
 	}
-	spec, err := s.specFor(req.Spec)
+	spec, err := s.specFor(req.Spec, req.Topology)
 	if err != nil {
 		s.badRequest(w, err)
 		return
@@ -282,6 +286,28 @@ func (s *Server) handleMC(w http.ResponseWriter, r *http.Request) {
 		func(ctx context.Context) ([]byte, error) {
 			return s.backend.MC(ctx, spec, &req)
 		})
+}
+
+// TopologiesReport is the GET /v1/topologies payload.
+type TopologiesReport struct {
+	Default    string   `json:"default"`
+	Topologies []string `json:"topologies"`
+}
+
+func (s *Server) handleTopologies(w http.ResponseWriter, _ *http.Request) {
+	s.requests.Add(1)
+	evRequests.Add(1)
+	body, err := marshalJSON(TopologiesReport{
+		Default:    sizing.DefaultTopology,
+		Topologies: sizing.Topologies(),
+	})
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+	s.served.Add(1)
 }
 
 func (s *Server) handleLayoutSVG(w http.ResponseWriter, _ *http.Request) {
@@ -386,9 +412,17 @@ func (s *Server) errorBody(w http.ResponseWriter, code int, err error) {
 }
 
 // specFor resolves a request's optional spec override against the
-// server default and validates it.
-func (s *Server) specFor(o *sizing.OTASpec) (sizing.OTASpec, error) {
+// server default and validates it. A request naming a non-default
+// topology without a spec gets that topology's own default spec (the
+// paper's 65 MHz target is out of reach for the smaller OTAs) — unless
+// the operator pinned an explicit server-wide spec, which wins.
+func (s *Server) specFor(o *sizing.OTASpec, topology string) (sizing.OTASpec, error) {
 	spec := s.spec
+	if o == nil && !s.specSet && topology != "" && topology != sizing.DefaultTopology {
+		if plan, err := sizing.Lookup(topology); err == nil {
+			spec = plan.DefaultSpec()
+		}
+	}
 	if o != nil {
 		spec = *o
 	}

@@ -16,6 +16,7 @@ import (
 
 	"loas/internal/obs"
 	"loas/internal/sizing"
+	"loas/internal/techno"
 )
 
 // stubBackend counts invocations and returns canned bodies, so the
@@ -210,6 +211,8 @@ func TestBadRequests(t *testing.T) {
 		{"/v1/mc", `{"n":-4}`},
 		{"/v1/table1", `{"spec":{"vdd":-1}}`},
 		{"/v1/synthesize", `not json`},
+		{"/v1/synthesize", `{"topology":"no-such-ota"}`},
+		{"/v1/mc", `{"topology":"no-such-ota"}`},
 	} {
 		resp, data := post(t, ts.URL+tc.path, tc.body)
 		if resp.StatusCode != http.StatusBadRequest {
@@ -436,4 +439,146 @@ func TestShutdownWithRequestsInFlight(t *testing.T) {
 	if st.Queue.Depth != 0 {
 		t.Fatalf("queue not drained: %+v", st.Queue)
 	}
+}
+
+// TestTopologiesEndpoint: GET /v1/topologies lists every registered
+// plan plus the default, in sorted order.
+func TestTopologiesEndpoint(t *testing.T) {
+	stub := &stubBackend{}
+	_, ts := newStubServer(t, Config{}, stub)
+	resp, err := http.Get(ts.URL + "/v1/topologies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var rep TopologiesReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Default != sizing.DefaultTopology {
+		t.Fatalf("default %q, want %q", rep.Default, sizing.DefaultTopology)
+	}
+	want := sizing.Topologies()
+	if len(rep.Topologies) != len(want) {
+		t.Fatalf("topologies %v, want %v", rep.Topologies, want)
+	}
+	for i := range want {
+		if rep.Topologies[i] != want[i] {
+			t.Fatalf("topologies %v, want %v", rep.Topologies, want)
+		}
+	}
+	if stub.calls.Load() != 0 {
+		t.Fatal("listing topologies must not reach the backend")
+	}
+}
+
+// TestUnknownTopologyLists400: the 400 body for an unknown topology
+// names every registered plan, so a client can self-correct.
+func TestUnknownTopologyLists400(t *testing.T) {
+	stub := &stubBackend{}
+	_, ts := newStubServer(t, Config{}, stub)
+	for _, path := range []string{"/v1/synthesize", "/v1/mc"} {
+		resp, data := post(t, ts.URL+path, `{"topology":"no-such-ota"}`)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d (%s), want 400", path, resp.StatusCode, data)
+		}
+		var body struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(data, &body); err != nil {
+			t.Fatalf("%s: non-JSON error body %q", path, data)
+		}
+		for _, name := range sizing.Topologies() {
+			if !strings.Contains(body.Error, name) {
+				t.Fatalf("%s: error %q does not list topology %q", path, body.Error, name)
+			}
+		}
+	}
+	if stub.calls.Load() != 0 {
+		t.Fatalf("unknown topology reached the backend %d times", stub.calls.Load())
+	}
+}
+
+// TestTopologyKeyCanonicalization is the deterministic complement of
+// FuzzCanonicalKey: absent == explicit default (no cold-cache
+// regression for pre-topology clients), and every registered topology
+// keys distinctly on both synthesize and mc requests.
+func TestTopologyKeyCanonicalization(t *testing.T) {
+	tech := techno.Default060()
+	spec := sizing.Default65MHz()
+
+	absent := SynthesizeRequest{}
+	if err := absent.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	explicit := SynthesizeRequest{Topology: sizing.DefaultTopology}
+	if err := explicit.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if absent.cacheKey(tech, spec) != explicit.cacheKey(tech, spec) {
+		t.Fatal("absent topology must key identically to the explicit default")
+	}
+
+	seen := map[string]string{}
+	for _, name := range sizing.Topologies() {
+		sr := SynthesizeRequest{Topology: name}
+		if err := sr.normalize(); err != nil {
+			t.Fatal(err)
+		}
+		k := sr.cacheKey(tech, spec)
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("topologies %q and %q collide on synthesize key", prev, name)
+		}
+		seen[k] = name
+
+		mr := MCRequest{Topology: name}
+		if err := mr.normalize(); err != nil {
+			t.Fatal(err)
+		}
+		mk := mr.cacheKey(tech, spec)
+		if prev, dup := seen[mk]; dup {
+			t.Fatalf("mc key for %q collides with %q", name, prev)
+		}
+		seen[mk] = "mc/" + name
+	}
+}
+
+// TestTopologyDefaultSpecSubstitution: naming a non-default topology
+// without a spec must hand the backend that topology's own default
+// specification, not the paper's 65 MHz folded-cascode target — unless
+// the operator pinned a server-wide spec.
+func TestTopologyDefaultSpecSubstitution(t *testing.T) {
+	var got atomic.Value
+	b := &specRecordingBackend{seen: &got}
+	_, ts := newStubServer(t, Config{}, b)
+	post(t, ts.URL+"/v1/synthesize", `{"topology":"two-stage"}`)
+	plan, err := sizing.Lookup("two-stage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec := got.Load().(sizing.OTASpec); spec != plan.DefaultSpec() {
+		t.Fatalf("backend saw spec %+v, want two-stage default %+v", spec, plan.DefaultSpec())
+	}
+
+	// An explicit server-wide spec wins over the topology default.
+	pinned := sizing.Default65MHz()
+	_, ts2 := newStubServer(t, Config{Spec: &pinned}, b)
+	post(t, ts2.URL+"/v1/synthesize", `{"topology":"two-stage"}`)
+	if spec := got.Load().(sizing.OTASpec); spec != pinned {
+		t.Fatalf("backend saw spec %+v, want pinned server spec %+v", spec, pinned)
+	}
+}
+
+// specRecordingBackend captures the spec the server resolved.
+type specRecordingBackend struct {
+	stubBackend
+	seen *atomic.Value
+}
+
+func (b *specRecordingBackend) Synthesize(ctx context.Context, spec sizing.OTASpec, req *SynthesizeRequest) ([]byte, []obs.Iteration, error) {
+	b.seen.Store(spec)
+	return b.stubBackend.Synthesize(ctx, spec, req)
 }

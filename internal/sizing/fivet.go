@@ -23,6 +23,26 @@ const (
 	NetFX = "fx" // mirror diode node
 )
 
+func init() {
+	Register(Plan{
+		Name:        "five-t",
+		Description: "five-transistor OTA: single-stage PMOS pair with NMOS mirror load",
+		Size: func(tech *techno.Tech, spec OTASpec, ps ParasiticState) (Design, error) {
+			return SizeFiveT(tech, spec, ps)
+		},
+		DefaultSpec: DefaultFiveTSpec,
+	})
+}
+
+// DefaultFiveTSpec is a specification the single-stage plan can meet:
+// the mirror pole caps the usable GBW well below the paper's 65 MHz.
+func DefaultFiveTSpec() OTASpec {
+	return OTASpec{
+		VDD: 3.3, GBW: 30e6, PM: 60, CL: 2e-12,
+		ICMLow: 0.4, ICMHigh: 1.8, OutLow: 0.5, OutHigh: 2.8,
+	}
+}
+
 // FiveT is the classic single-stage five-transistor OTA — the smallest
 // entry in the topology library, useful as an SC-filter buffer or a bias
 // amplifier.
@@ -119,7 +139,10 @@ func SizeFiveT(tech *techno.Tech, spec OTASpec, ps ParasiticState) (*FiveT, erro
 		if err := build(); err != nil {
 			return nil, err
 		}
-		ckt := d.Netlist("5t-eval")
+		// The assumed netlist folds the last layout report's wiring
+		// capacitance into the evaluation, closing the routing-awareness
+		// feedback under case 4 just like the folded-cascode plan.
+		ckt := d.AssumedNetlist("5t-eval")
 		vcm := d.NodeEst[NetInP]
 		ckt.Add(
 			&circuit.VSource{Name: "szp", Pos: NetInP, Neg: circuit.Ground, DC: vcm, ACMag: 0.5},
@@ -151,7 +174,77 @@ func SizeFiveT(tech *techno.Tech, spec OTASpec, ps ParasiticState) (*FiveT, erro
 	op1 := evalAt(tech, d.Devices[MF1])
 	op4 := evalAt(tech, d.Devices[MF4])
 	d.Predicted.DCGainDB = DB(op1.Gm / (op1.Gds + op4.Gds))
+	sizingPasses.Inc()
 	return d, nil
+}
+
+// fiveTSignalNets lists the nets whose wiring capacitance matters to the
+// small-signal behaviour of the 5T OTA.
+func fiveTSignalNets() []string {
+	return []string{NetOut, NetFX, NetTail, NetInP, NetInN}
+}
+
+// AssumedNetlist is Netlist plus the sizing-time routing assumption:
+// when routing awareness is on, the last layout report's wiring/
+// coupling/well capacitance is lumped onto each signal net (Design).
+func (d *FiveT) AssumedNetlist(name string) *circuit.Circuit {
+	ckt := d.Netlist(name)
+	if d.Par.Routing && d.Par.Report != nil {
+		for _, net := range fiveTSignalNets() {
+			if c := d.Par.wiringCap(net); c > 0 {
+				ckt.Add(&circuit.Capacitor{Name: "asm_" + net, A: net, B: circuit.Ground, C: c})
+			}
+		}
+	}
+	return ckt
+}
+
+// PredictedPerf exposes the plan's performance prediction (Design).
+func (d *FiveT) PredictedPerf() Performance { return d.Predicted }
+
+// DeviceTable exposes the sized devices (Design).
+func (d *FiveT) DeviceTable() map[string]DeviceSize { return d.Devices }
+
+// OperatingPoint snapshots the design point (Design). All channels sit
+// at the plan's fixed length, so the mirror's L stands in for the
+// "non-input length" slot.
+func (d *FiveT) OperatingPoint() OperatingPoint {
+	return OperatingPoint{W1: d.Devices[MF1].W, Lc: d.Devices[MF3].L, Itail: d.Itail}
+}
+
+// HotNet is the mirror diode node — the only internal high-impedance-ish
+// node whose capacitance sets the non-dominant pole (Design).
+func (d *FiveT) HotNet() string { return NetFX }
+
+// ACGroundNets lists the AC-ground nets of this topology (Design).
+func (d *FiveT) ACGroundNets() []string {
+	return []string{NetVDD, "gnd", circuit.Ground, NetVBP}
+}
+
+// BiasFor recomputes the tail bias on an alternate technology (a
+// process corner) for the same device sizes (Design).
+func (d *FiveT) BiasFor(tech *techno.Tech) (map[string]float64, error) {
+	t := d.Devices[MF5]
+	mp5 := device.MOS{Card: &tech.P, W: t.W, L: t.L}
+	vgs, err := mp5.VGSForCurrent(t.ID, d.Spec.VDD-d.NodeEst[NetTail], 0, tech.Temp)
+	if err != nil {
+		return nil, fmt.Errorf("sizing: 5T corner vbp: %w", err)
+	}
+	return map[string]float64{NetVBP: d.Spec.VDD - vgs}, nil
+}
+
+// BiasSources maps the netlist's bias vsources to bias-net keys (Design).
+func (d *FiveT) BiasSources() map[string]string {
+	return map[string]string{"bp": NetVBP}
+}
+
+// OffsetRefs returns the input pair against the mirror load; the gm
+// ratio follows from the fixed overdrives at equal drain currents
+// (Design).
+func (d *FiveT) OffsetRefs() (pair, load DeviceSize, gmRatio float64) {
+	pair, load = d.Devices[MF1], d.Devices[MF3]
+	gmRatio = pair.Veff / load.Veff
+	return pair, load, gmRatio
 }
 
 // Netlist builds the 5T OTA.

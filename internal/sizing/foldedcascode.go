@@ -74,6 +74,46 @@ type FoldedCascode struct {
 	Iterations int
 }
 
+func init() {
+	Register(Plan{
+		Name:        "folded-cascode",
+		Description: "folded-cascode OTA (paper Fig. 4): cascoded single stage, four bias voltages",
+		Size: func(tech *techno.Tech, spec OTASpec, ps ParasiticState) (Design, error) {
+			return SizeFoldedCascode(tech, spec, ps)
+		},
+		DefaultSpec: Default65MHz,
+	})
+}
+
+// PredictedPerf exposes the plan's performance prediction (Design).
+func (d *FoldedCascode) PredictedPerf() Performance { return d.Predicted }
+
+// DeviceTable exposes the sized devices (Design).
+func (d *FoldedCascode) DeviceTable() map[string]DeviceSize { return d.Devices }
+
+// OperatingPoint snapshots the design point (Design).
+func (d *FoldedCascode) OperatingPoint() OperatingPoint {
+	return OperatingPoint{W1: d.Devices[MP1].W, Lc: d.Lc, Itail: d.Itail}
+}
+
+// HotNet is the mirror-side fold node — the net whose parasitics drive
+// the GBW/PM feedback (Design).
+func (d *FoldedCascode) HotNet() string { return NetFN1 }
+
+// ACGroundNets lists the AC-ground nets of this topology (Design).
+func (d *FoldedCascode) ACGroundNets() []string { return ACGroundNets() }
+
+// BiasSources maps the netlist's bias vsources to bias-net keys (Design).
+func (d *FoldedCascode) BiasSources() map[string]string {
+	return map[string]string{"bp": NetVBP, "bn": NetVBN, "c1": NetVC1, "c3": NetVC3}
+}
+
+// OffsetRefs returns the mismatch-critical devices for the analytic
+// offset estimate: the input pair against the bottom sinks (Design).
+func (d *FoldedCascode) OffsetRefs() (pair, load DeviceSize, gmRatio float64) {
+	return d.Devices[MP1], d.Devices[MN5], 0.7
+}
+
 // plan bundles the working state of one sizing pass.
 type plan struct {
 	tech *techno.Tech

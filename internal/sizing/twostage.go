@@ -31,6 +31,28 @@ const (
 	NetCZ = "cz" // between the Miller cap and the nulling resistor
 )
 
+func init() {
+	Register(Plan{
+		Name:        "two-stage",
+		Description: "two-stage Miller-compensated OTA: mirror-loaded pair, common-source second stage, nulling resistor",
+		Size: func(tech *techno.Tech, spec OTASpec, ps ParasiticState) (Design, error) {
+			return SizeTwoStage(tech, spec, ps)
+		},
+		DefaultSpec: DefaultTwoStageSpec,
+	})
+}
+
+// DefaultTwoStageSpec is the reference specification the two-stage plan
+// is tuned for (the paper's 65 MHz folded-cascode target is out of its
+// reach at 3 pF).
+func DefaultTwoStageSpec() OTASpec {
+	return OTASpec{
+		VDD: 3.3, GBW: 20e6, PM: 65, CL: 5e-12,
+		ICMLow: 0.4, ICMHigh: 1.8,
+		OutLow: 0.4, OutHigh: 2.9,
+	}
+}
+
 // TwoStage is a sized two-stage Miller-compensated OTA.
 type TwoStage struct {
 	Tech *techno.Tech
@@ -158,7 +180,11 @@ func SizeTwoStage(tech *techno.Tech, spec OTASpec, ps ParasiticState) (*TwoStage
 	}
 
 	evaluate := func() (float64, float64, error) {
-		ckt := d.Netlist("ts-eval")
+		// The assumed netlist folds the last layout report's wiring
+		// capacitance into the evaluation, so under routing awareness
+		// (case 4) the plan reacts to its own layout — the same feedback
+		// the folded-cascode plan gets.
+		ckt := d.AssumedNetlist("ts-eval")
 		vcm := d.NodeEst[NetInP]
 		ckt.Add(
 			&circuit.VSource{Name: "szp", Pos: NetInP, Neg: circuit.Ground, DC: vcm, ACMag: 0.5},
@@ -272,6 +298,75 @@ func (d *TwoStage) NodeSet() map[string]float64 {
 	}
 	ns[NetVBP] = d.Bias[NetVBP]
 	return ns
+}
+
+// twoStageSignalNets lists the nets whose wiring capacitance matters to
+// the small-signal behaviour of the two-stage OTA.
+func twoStageSignalNets() []string {
+	return []string{NetOut, NetX1, NetX2, NetCZ, NetTail, NetInP, NetInN}
+}
+
+// AssumedNetlist is Netlist plus the sizing-time routing assumption:
+// when routing awareness is on, the last layout report's wiring/
+// coupling/well capacitance is lumped onto each signal net (Design).
+func (d *TwoStage) AssumedNetlist(name string) *circuit.Circuit {
+	ckt := d.Netlist(name)
+	if d.Par.Routing && d.Par.Report != nil {
+		for _, net := range twoStageSignalNets() {
+			if c := d.Par.wiringCap(net); c > 0 {
+				ckt.Add(&circuit.Capacitor{Name: "asm_" + net, A: net, B: circuit.Ground, C: c})
+			}
+		}
+	}
+	return ckt
+}
+
+// PredictedPerf exposes the plan's performance prediction (Design).
+func (d *TwoStage) PredictedPerf() Performance { return d.Predicted }
+
+// DeviceTable exposes the sized devices (Design).
+func (d *TwoStage) DeviceTable() map[string]DeviceSize { return d.Devices }
+
+// OperatingPoint snapshots the design point (Design). The "non-input
+// length" slot reports the second-stage device length — the plan keeps
+// every channel at its fixed L and tunes gm6 instead.
+func (d *TwoStage) OperatingPoint() OperatingPoint {
+	return OperatingPoint{W1: d.Devices[MT1].W, Lc: d.Devices[MT6].L, Itail: d.Itail}
+}
+
+// HotNet is the first-stage output / second-stage gate — the node the
+// Miller network pivots on (Design).
+func (d *TwoStage) HotNet() string { return NetX2 }
+
+// ACGroundNets lists the AC-ground nets of this topology (Design).
+func (d *TwoStage) ACGroundNets() []string {
+	return []string{NetVDD, "gnd", circuit.Ground, NetVBP}
+}
+
+// BiasFor recomputes the single bias voltage on an alternate technology
+// (a process corner) for the same tail device (Design).
+func (d *TwoStage) BiasFor(tech *techno.Tech) (map[string]float64, error) {
+	t := d.Devices[MT5]
+	mp5 := device.MOS{Card: &tech.P, W: t.W, L: t.L}
+	vgs, err := mp5.VGSForCurrent(t.ID, d.Spec.VDD-d.NodeEst[NetTail], 0, tech.Temp)
+	if err != nil {
+		return nil, fmt.Errorf("sizing: two-stage corner vbp: %w", err)
+	}
+	return map[string]float64{NetVBP: d.Spec.VDD - vgs}, nil
+}
+
+// BiasSources maps the netlist's bias vsources to bias-net keys (Design).
+func (d *TwoStage) BiasSources() map[string]string {
+	return map[string]string{"bp": NetVBP}
+}
+
+// OffsetRefs returns the input pair against the mirror load; the gm
+// ratio follows from the fixed overdrives (gm = 2·ID/Veff at equal
+// currents) (Design).
+func (d *TwoStage) OffsetRefs() (pair, load DeviceSize, gmRatio float64) {
+	pair, load = d.Devices[MT1], d.Devices[MT3]
+	gmRatio = pair.Veff / load.Veff
+	return pair, load, gmRatio
 }
 
 // Layout builds the CAIRO design: pair and mirror stacks, three single
