@@ -29,3 +29,7 @@ awk -v t="$total" -v f="$COVER_FLOOR" 'BEGIN {
 
 # Brief fuzz run of the canonical-key corpus under the race detector.
 go test -race -run '^$' -fuzz FuzzCanonicalKey -fuzztime 5s ./internal/serve
+
+# Fuzz the run-ledger decoder: arbitrary bytes must never panic the
+# reader, and valid records must round-trip byte-identically.
+go test -race -run '^$' -fuzz FuzzLedgerDecode -fuzztime 5s ./internal/obs

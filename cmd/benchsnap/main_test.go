@@ -1,0 +1,81 @@
+package main
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: loas
+BenchmarkFig2CapReduction-8   	1000000	      1052 ns/op	        58.90 reduction_pct
+BenchmarkFig5Layout-8         	      1	 812345600 ns/op	     10169 area_um2	         6.000 layout_calls
+BenchmarkTecheval             	      5	    200000 ns/op
+PASS
+ok  	loas	2.345s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	res, err := parseBenchOutput(sampleOutput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(res), res)
+	}
+
+	fig2 := res["Fig2CapReduction"]
+	if fig2.NsPerOp != 1052 {
+		t.Fatalf("fig2 ns/op = %v", fig2.NsPerOp)
+	}
+	m, ok := fig2.Metrics["reduction_pct"]
+	if !ok || m.Value != 58.90 {
+		t.Fatalf("fig2 metrics = %+v", fig2.Metrics)
+	}
+	// The hex form must round-trip to the identical float64.
+	back, err := strconv.ParseFloat(m.Hex, 64)
+	if err != nil || math.Float64bits(back) != math.Float64bits(m.Value) {
+		t.Fatalf("hex %q does not round-trip %v: %v", m.Hex, m.Value, err)
+	}
+
+	fig5 := res["Fig5Layout"]
+	if len(fig5.Metrics) != 2 || fig5.Metrics["area_um2"].Value != 10169 {
+		t.Fatalf("fig5 metrics = %+v", fig5.Metrics)
+	}
+	// The GOMAXPROCS suffix is stripped; a suffix-less line still parses.
+	if res["Techeval"].NsPerOp != 200000 || res["Techeval"].Metrics != nil {
+		t.Fatalf("techeval = %+v", res["Techeval"])
+	}
+}
+
+func TestParseBenchOutputBadValue(t *testing.T) {
+	if _, err := parseBenchOutput("BenchmarkX-8 1 abc ns/op\n"); err == nil {
+		t.Fatal("malformed value should fail, not be skipped silently")
+	}
+}
+
+// TestSnapshotAgainstFastBench runs the real pipeline end to end on the
+// cheapest deterministic benchmark and checks the written JSON.
+func TestSnapshotAgainstFastBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go test -bench")
+	}
+	out := filepath.Join(t.TempDir(), "snap.json")
+	err := run([]string{"-bench", "Fig2CapReduction$", "-o", out, "-dir", "../.."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"Fig2CapReduction"`, `"ns_op"`, `"F_ext_nf4"`, `"hex"`, `0x`} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("snapshot missing %q:\n%s", want, data)
+		}
+	}
+}

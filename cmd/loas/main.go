@@ -18,18 +18,24 @@
 //	loas trace [-case N] [-json]   convergence trace with per-phase timings
 //	loas corners [-topology T] process-corner verification
 //	loas serve [flags]         run the loasd synthesis daemon (alias)
+//	loas runs [-addr URL]      list the daemon's recent runs
+//	loas show <run-id>         one run's span tree + convergence trace
+//	loas tail [-addr URL]      follow the daemon's live run events (SSE)
 //
 // The -topology flag selects a registered design plan (see `loas
 // topologies`); the default is the paper's folded-cascode OTA.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"time"
 
 	"loas/internal/core"
 	"loas/internal/layout/cairo"
@@ -110,6 +116,12 @@ func run(cmd string, args []string, out io.Writer) error {
 		return runCorners(tech, args, out)
 	case "serve":
 		return serve.CLI(args, out)
+	case "runs":
+		return runRuns(args, out)
+	case "show":
+		return runShow(args, out)
+	case "tail":
+		return runTail(args, out)
 	default:
 		return fmt.Errorf("%w: %q", errUnknownCommand, cmd)
 	}
@@ -117,7 +129,7 @@ func run(cmd string, args []string, out io.Writer) error {
 
 func usage() {
 	fmt.Fprintln(os.Stderr,
-		`usage: loas <fig2|fig3|table1|fig5|flow|netlist|synth|topologies|mc|techeval|twostage|converge|trace|corners|serve> [flags]`)
+		`usage: loas <fig2|fig3|table1|fig5|flow|netlist|synth|topologies|mc|techeval|twostage|converge|trace|corners|serve|runs|show|tail> [flags]`)
 }
 
 // topoSpec resolves a -topology flag value to its canonical plan name
@@ -156,7 +168,7 @@ func runMC(tech *techno.Tech, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	rep, err := serve.RunMC(tech, spec, name, *caseN, *n, *seed, *workers)
+	rep, err := serve.RunMC(context.Background(), tech, spec, name, *caseN, *n, *seed, *workers)
 	if err != nil {
 		return err
 	}
@@ -376,6 +388,7 @@ func runSynth(tech *techno.Tech, args []string, out io.Writer) error {
 	maxCalls := fs.Int("maxcalls", 8, "layout-call bound of the convergence loop")
 	skipVerify := fs.Bool("skipverify", false, "skip the extracted-netlist measurement")
 	asJSON := fs.Bool("json", false, "emit the summary and trace as JSON")
+	ledgerPath := fs.String("ledger", "", "append this run to the JSONL ledger at this path (same format as loasd -ledger)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -383,12 +396,60 @@ func runSynth(tech *techno.Tech, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+
+	// With -ledger, the run is recorded exactly like a daemon run —
+	// span tree, iterations, outcome — with Source "cli", into the same
+	// JSONL format loasd appends and `loas runs` reads back.
+	var ledger *obs.Ledger
+	var recorder *obs.Recorder
+	var root *obs.Span
+	if *ledgerPath != "" {
+		ledger, err = obs.OpenLedger(*ledgerPath, obs.LedgerOptions{})
+		if err != nil {
+			return err
+		}
+		defer ledger.Close()
+		recorder = obs.NewRecorder()
+		root = recorder.Root("request")
+		root.SetAttr("kind", "synthesize")
+		root.SetAttr("topology", name)
+		root.SetAttr("case", strconv.Itoa(*caseN))
+	}
+	start := time.Now()
 	res, err := core.Synthesize(tech, spec, core.Options{
 		Topology:       name,
 		Case:           *caseN,
 		MaxLayoutCalls: *maxCalls,
 		SkipVerify:     *skipVerify,
+		Span:           root,
 	})
+	if ledger != nil {
+		root.End()
+		seq := ledger.LastSeq() + 1
+		rec := obs.RunRecord{
+			ID:          fmt.Sprintf("run-%06d", seq),
+			Seq:         seq,
+			StartUnixNS: start.UnixNano(),
+			Source:      "cli",
+			Kind:        "synthesize",
+			Topology:    name,
+			Case:        *caseN,
+			Outcome:     "ok",
+			DurationNS:  root.Duration().Nanoseconds(),
+			Spans:       recorder.Snapshot(),
+		}
+		if err != nil {
+			rec.Outcome = "error"
+			rec.Error = err.Error()
+		} else {
+			rec.Converged = obs.Converged(res.Trace, 1e-15)
+			rec.LayoutCalls = res.LayoutCalls
+			rec.Iterations = res.Trace
+		}
+		if lerr := ledger.Append(rec); lerr != nil {
+			fmt.Fprintf(out, "warning: ledger append failed: %v\n", lerr)
+		}
+	}
 	if err != nil {
 		return err
 	}

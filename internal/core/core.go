@@ -11,6 +11,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"time"
 
@@ -47,6 +48,11 @@ type Options struct {
 	// happens (live telemetry). The finished Result always carries the
 	// same events in Result.Trace regardless.
 	Trace *obs.Trace
+	// Span, when non-nil, is the parent under which the run records its
+	// request-lifecycle spans: one "iteration" span per layout call
+	// (with "sizing" and "layout-extract" children) plus the two
+	// verification phases. A nil Span records nothing.
+	Span *obs.Span
 }
 
 func (o *Options) defaults() {
@@ -121,21 +127,27 @@ func Synthesize(tech *techno.Tech, spec sizing.OTASpec, opts Options) (*Result, 
 	usesLayoutInfo := ps.Junction == extract.JunctionExact || ps.Routing
 
 	for call := 1; call <= opts.MaxLayoutCalls; call++ {
+		itSpan := opts.Span.Child("iteration")
+		itSpan.SetAttr("call", strconv.Itoa(call))
 		ps.Report = par
+		sizeSpan := itSpan.Child("sizing")
 		sizeStart := time.Now()
 		design, err = plan.Size(tech, spec, ps)
 		if err != nil {
 			return nil, fmt.Errorf("core: sizing pass %d: %w", call, err)
 		}
 		sizingNS := time.Since(sizeStart).Nanoseconds()
+		sizeSpan.End()
 		res.SizingPasses++
 
+		laySpan := itSpan.Child("layout-extract")
 		layoutStart := time.Now()
 		lay, err := design.Layout().Plan(tech, opts.Shape)
 		if err != nil {
 			return nil, fmt.Errorf("core: layout call %d: %w", call, err)
 		}
 		layoutNS := time.Since(layoutStart).Nanoseconds()
+		laySpan.End()
 		res.LayoutCalls++
 		newPar := lay.Parasitics
 		newPar.LayoutCalls = res.LayoutCalls
@@ -164,6 +176,7 @@ func Synthesize(tech *techno.Tech, spec sizing.OTASpec, opts Options) (*Result, 
 		}
 		res.Trace = append(res.Trace, it)
 		opts.Trace.Record(it)
+		itSpan.End()
 
 		if !usesLayoutInfo {
 			par = newPar
@@ -189,19 +202,23 @@ func Synthesize(tech *techno.Tech, spec sizing.OTASpec, opts Options) (*Result, 
 		// assumed netlist (its parasitic view of the world) measured with
 		// the same suite, so any Table-1 mismatch is purely the
 		// parasitics each case ignores.
+		vsSpan := opts.Span.Child("verify-synthesized")
 		synth, err := meas.Measure(OTABench(tech, spec, design, func() *circuit.Circuit {
 			return design.AssumedNetlist("assumed")
 		}))
 		if err != nil {
 			return nil, fmt.Errorf("core: synthesized verification: %w", err)
 		}
+		vsSpan.End()
 		res.Synthesized = synth.Perf
 		res.Synthesized.Offset = 0 // by construction of a symmetric schematic
 
+		veSpan := opts.Span.Child("verify-extracted")
 		perf, ckt, err := VerifyExtracted(tech, spec, design, par)
 		if err != nil {
 			return nil, fmt.Errorf("core: extracted verification: %w", err)
 		}
+		veSpan.End()
 		res.Extracted = *perf
 		res.ExtractedCkt = ckt
 	}

@@ -6,6 +6,7 @@ import (
 
 	"loas/internal/circuit"
 	"loas/internal/meas"
+	"loas/internal/obs"
 	"loas/internal/parallel"
 	"loas/internal/sizing"
 	"loas/internal/techno"
@@ -51,12 +52,24 @@ func VerifyAtCorner(tech *techno.Tech, corner techno.Corner, res *Result) (*sizi
 // CornerSweep verifies the design at all five corners concurrently. Each
 // corner gets a deep tech copy (AtCorner) and builds its own circuits, so
 // the only shared state is the read-only design, parasitic report and
-// nominal technology.
+// nominal technology. A span carried by ctx (obs.ContextWithSpan) gets
+// one "corner" child per worker item, so the span tree shows where the
+// fan-out's parallel time goes.
 func CornerSweep(tech *techno.Tech, res *Result) (map[techno.Corner]sizing.Performance, error) {
+	return CornerSweepCtx(context.Background(), tech, res)
+}
+
+// CornerSweepCtx is CornerSweep under a caller context; the context's
+// span (if any) parents the per-corner spans.
+func CornerSweepCtx(ctx context.Context, tech *techno.Tech, res *Result) (map[techno.Corner]sizing.Performance, error) {
+	parent := obs.SpanFromContext(ctx)
 	corners := []techno.Corner{techno.CornerTT, techno.CornerSS,
 		techno.CornerFF, techno.CornerSF, techno.CornerFS}
-	perfs, err := parallel.Map(context.Background(), 0, corners,
+	perfs, err := parallel.Map(ctx, 0, corners,
 		func(_ context.Context, _ int, c techno.Corner) (sizing.Performance, error) {
+			span := parent.Child("corner")
+			span.SetAttr("corner", string(c))
+			defer span.End()
 			p, err := VerifyAtCorner(tech, c, res)
 			if err != nil {
 				return sizing.Performance{}, err

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strconv"
 
 	"loas/internal/circuit"
 	"loas/internal/layout/stack"
@@ -82,6 +83,10 @@ type OffsetConfig struct {
 	// across this many goroutines (0 = GOMAXPROCS, 1 = serial). The
 	// statistics are identical for any value — see RunOffset.
 	Workers int
+	// Span, when non-nil, parents one "mc-sample" span per draw — the
+	// per-worker-item view of where the fan-out's wall time goes. Spans
+	// observe only; the sample statistics are unchanged.
+	Span *obs.Span
 }
 
 // SimulateOffset nulls the output by bisection on the differential input
@@ -188,6 +193,9 @@ func OffsetSamples(cfg OffsetConfig, start, n int, seed int64) ([]OffsetSample, 
 	return parallel.MapN(context.Background(), cfg.Workers, n,
 		func(_ context.Context, i int) (OffsetSample, error) {
 			idx := start + i
+			span := cfg.Span.Child("mc-sample")
+			span.SetAttr("index", strconv.Itoa(idx))
+			defer span.End()
 			base := cfg.Build()
 			s := Draw(rand.New(rand.NewSource(sampleSeed(seed, idx))), base)
 			off, err := SimulateOffset(cfg, s)

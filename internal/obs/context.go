@@ -1,0 +1,45 @@
+package obs
+
+import "context"
+
+// Context propagation for the serving stack: the daemon opens the
+// request-level spans and a live trace, then hands both to the backend
+// through the job context so the Backend interface stays byte-oriented.
+// Every accessor is nil-safe — a context without a span or trace yields
+// the no-op nil recorder, so the core engine never branches on whether
+// it is being observed.
+
+type ctxKey int
+
+const (
+	ctxSpan ctxKey = iota
+	ctxTrace
+)
+
+// ContextWithSpan returns ctx carrying span as the current parent.
+func ContextWithSpan(ctx context.Context, span *Span) context.Context {
+	return context.WithValue(ctx, ctxSpan, span)
+}
+
+// SpanFromContext returns the current span, or nil (a valid no-op).
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(ctxSpan).(*Span)
+	return s
+}
+
+// ContextWithTrace returns ctx carrying a live iteration recorder.
+func ContextWithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, ctxTrace, t)
+}
+
+// TraceFromContext returns the live trace, or nil (a valid no-op).
+func TraceFromContext(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(ctxTrace).(*Trace)
+	return t
+}

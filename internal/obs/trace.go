@@ -57,8 +57,16 @@ type Iteration struct {
 // *Trace is a valid no-op recorder, so call sites thread it through
 // unconditionally.
 type Trace struct {
-	mu    sync.Mutex
-	iters []Iteration
+	mu     sync.Mutex
+	iters  []Iteration
+	notify func(Iteration)
+}
+
+// NewTraceFunc returns a Trace that additionally invokes fn for every
+// recorded iteration (after appending, outside the lock) — the live
+// event feed behind the daemon's SSE stream.
+func NewTraceFunc(fn func(Iteration)) *Trace {
+	return &Trace{notify: fn}
 }
 
 // Record appends one iteration. Safe on a nil receiver.
@@ -68,7 +76,11 @@ func (t *Trace) Record(it Iteration) {
 	}
 	t.mu.Lock()
 	t.iters = append(t.iters, it)
+	fn := t.notify
 	t.mu.Unlock()
+	if fn != nil {
+		fn(it)
+	}
 }
 
 // Iterations returns a copy of everything recorded so far, in record

@@ -28,7 +28,14 @@ var table1Descriptions = [...]string{
 // four cases run concurrently (core.SynthesizeAll); the rows they return
 // are identical to four serial Synthesize calls.
 func Table1(tech *techno.Tech, spec sizing.OTASpec) ([]Table1Case, error) {
-	results, err := core.SynthesizeAll(tech, spec, core.Options{})
+	return Table1Opts(tech, spec, core.Options{})
+}
+
+// Table1Opts is Table1 under caller-chosen options — the daemon uses it
+// to hang one "case" span per concurrent synthesis under the request's
+// span tree (opts.Span). opts.Case is overridden per slot.
+func Table1Opts(tech *techno.Tech, spec sizing.OTASpec, opts core.Options) ([]Table1Case, error) {
+	results, err := core.SynthesizeAll(tech, spec, opts)
 	if err != nil {
 		return nil, fmt.Errorf("table 1: %w", err)
 	}

@@ -146,13 +146,17 @@ type StdBackend struct {
 }
 
 // Synthesize runs one Table-1 case and returns its JSON summary plus
-// the convergence trace of the run.
-func (b *StdBackend) Synthesize(_ context.Context, spec sizing.OTASpec, req *SynthesizeRequest) ([]byte, []obs.Iteration, error) {
+// the convergence trace of the run. A span or live trace carried by ctx
+// (the daemon's per-run recorder) is handed to the engine, so the run's
+// span tree covers every sizing/layout/verify phase.
+func (b *StdBackend) Synthesize(ctx context.Context, spec sizing.OTASpec, req *SynthesizeRequest) ([]byte, []obs.Iteration, error) {
 	res, err := core.Synthesize(b.Tech, spec, core.Options{
 		Topology:       req.Topology,
 		Case:           req.Case,
 		MaxLayoutCalls: req.MaxLayoutCalls,
 		SkipVerify:     req.SkipVerify,
+		Span:           obs.SpanFromContext(ctx),
+		Trace:          obs.TraceFromContext(ctx),
 	})
 	if err != nil {
 		return nil, nil, err
@@ -167,9 +171,13 @@ func (b *StdBackend) Synthesize(_ context.Context, spec sizing.OTASpec, req *Syn
 }
 
 // Table1 runs all four cases (concurrently, via core.SynthesizeAll) and
-// returns the full report.
-func (b *StdBackend) Table1(_ context.Context, spec sizing.OTASpec) ([]byte, error) {
-	cases, err := repro.Table1(b.Tech, spec)
+// returns the full report. The context's span, if any, parents one
+// "case" span per concurrent synthesis.
+func (b *StdBackend) Table1(ctx context.Context, spec sizing.OTASpec) ([]byte, error) {
+	cases, err := repro.Table1Opts(b.Tech, spec, core.Options{
+		Span:  obs.SpanFromContext(ctx),
+		Trace: obs.TraceFromContext(ctx),
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -177,9 +185,10 @@ func (b *StdBackend) Table1(_ context.Context, spec sizing.OTASpec) ([]byte, err
 }
 
 // MC sizes the requested case's design and runs the mismatch
-// Monte-Carlo on it.
-func (b *StdBackend) MC(_ context.Context, spec sizing.OTASpec, req *MCRequest) ([]byte, error) {
-	rep, err := RunMC(b.Tech, spec, req.Topology, req.Case, req.N, req.Seed, req.Workers)
+// Monte-Carlo on it. The context's span, if any, parents one
+// "mc-sample" span per draw.
+func (b *StdBackend) MC(ctx context.Context, spec sizing.OTASpec, req *MCRequest) ([]byte, error) {
+	rep, err := RunMC(ctx, b.Tech, spec, req.Topology, req.Case, req.N, req.Seed, req.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -202,8 +211,10 @@ func (b *StdBackend) LayoutSVG(_ context.Context, spec sizing.OTASpec) ([]byte, 
 
 // RunMC is the shared Monte-Carlo pipeline behind `loas mc` and
 // POST /v1/mc: size the named topology's case design, fan the samples
-// across the worker pool, attach the analytic Pelgrom estimate.
-func RunMC(tech *techno.Tech, spec sizing.OTASpec, topology string, caseN, n int, seed int64, workers int) (*MCReport, error) {
+// across the worker pool, attach the analytic Pelgrom estimate. A span
+// carried by ctx gets one "mc-sample" child per draw; the statistics
+// are unchanged by observation (worker-invariant by construction).
+func RunMC(ctx context.Context, tech *techno.Tech, spec sizing.OTASpec, topology string, caseN, n int, seed int64, workers int) (*MCReport, error) {
 	plan, err := sizing.Lookup(topology)
 	if err != nil {
 		return nil, err
@@ -226,6 +237,7 @@ func RunMC(tech *techno.Tech, spec sizing.OTASpec, topology string, caseN, n int
 		Temp:    tech.Temp,
 		NodeSet: d.NodeSet(),
 		Workers: workers,
+		Span:    obs.SpanFromContext(ctx),
 	}
 	stats, err := mc.RunOffset(cfg, n, seed)
 	if err != nil {

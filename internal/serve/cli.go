@@ -11,6 +11,8 @@ import (
 	"os/signal"
 	"syscall"
 	"time"
+
+	"loas/internal/obs"
 )
 
 // CLI is the loasd daemon entry point, shared by the loasd binary and
@@ -28,12 +30,23 @@ func CLI(args []string, out io.Writer) error {
 	queue := fs.Int("queue", 64, "queued jobs beyond the workers before shedding load")
 	timeout := fs.Duration("timeout", 5*time.Minute, "per-request synthesis timeout")
 	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	ledgerPath := fs.String("ledger", "", "append every completed run to this JSONL ledger (off by default); replayed into /v1/runs on start")
+	ledgerMB := fs.Int64("ledger-mb", 8, "ledger size (MiB) that triggers rotation to <path>.1")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	cacheBytes := *cacheMB << 20
 	if *cacheMB <= 0 {
 		cacheBytes = -1
+	}
+	var ledger *obs.Ledger
+	if *ledgerPath != "" {
+		var err error
+		ledger, err = obs.OpenLedger(*ledgerPath, obs.LedgerOptions{MaxBytes: *ledgerMB << 20})
+		if err != nil {
+			return err
+		}
+		defer ledger.Close()
 	}
 	srv := New(Config{
 		CacheBytes:  cacheBytes,
@@ -42,6 +55,7 @@ func CLI(args []string, out io.Writer) error {
 		QueueDepth:  *queue,
 		Timeout:     *timeout,
 		EnablePprof: *pprofOn,
+		Ledger:      ledger,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -54,6 +68,10 @@ func CLI(args []string, out io.Writer) error {
 
 	fmt.Fprintf(out, "loasd listening on http://%s (workers %d, queue %d, cache %d MiB, ttl %s)\n",
 		ln.Addr(), srv.pool.Stats().Workers, *queue, *cacheMB, *ttl)
+	if ledger != nil {
+		fmt.Fprintf(out, "loasd: run ledger %s (%d records replayed, next run seq %d)\n",
+			*ledgerPath, len(ledger.History()), ledger.LastSeq()+1)
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 

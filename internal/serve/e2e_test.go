@@ -7,9 +7,13 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/httptest"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
+
+	"loas/internal/obs"
 )
 
 // TestEndToEndDaemon boots the real daemon (real backend, real
@@ -163,5 +167,155 @@ func TestEndToEndDaemon(t *testing.T) {
 	got := <-inFlight
 	if got.err != nil || got.status != http.StatusOK {
 		t.Fatalf("in-flight request during shutdown: status %d, err %v", got.status, got.err)
+	}
+}
+
+// TestEndToEndLedgerDaemon is the run-history acceptance path: a real
+// daemon with a ledger serves one cold synthesize, one cache hit and
+// one Monte-Carlo run; /v1/runs labels all three correctly, the cold
+// run's span tree is internally consistent down to the per-iteration
+// phases, /v1/events streamed every run-end live, and a restart on the
+// same ledger file replays the history and continues the sequence.
+func TestEndToEndLedgerDaemon(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end ledger test runs real synthesis")
+	}
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	ledger, err := obs.OpenLedger(path, obs.LedgerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{Ledger: ledger})
+	ts := httptest.NewServer(srv.Handler())
+
+	frames, stopSSE := sseClient(t, ts.URL)
+
+	mustPost := func(base, p, body string) {
+		t.Helper()
+		resp, data := post(t, base+p, body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST %s: status %d: %s", p, resp.StatusCode, data)
+		}
+	}
+	mustPost(ts.URL, "/v1/synthesize", `{"case":4,"skip_verify":true}`) // cold
+	mustPost(ts.URL, "/v1/synthesize", `{"case":4,"skip_verify":true}`) // byte replay
+	mustPost(ts.URL, "/v1/mc", `{"n":2,"seed":7}`)
+
+	// The subscriber connected before any run: it must have seen every
+	// run-end live, with the outcome the listing will also report.
+	endOutcomes := map[string]string{}
+	for len(endOutcomes) < 3 {
+		f := nextFrame(t, frames)
+		if f.event != "run-end" {
+			continue
+		}
+		var v struct {
+			ID      string `json:"id"`
+			Outcome string `json:"outcome"`
+		}
+		if err := json.Unmarshal([]byte(f.data), &v); err != nil {
+			t.Fatalf("run-end payload %q: %v", f.data, err)
+		}
+		endOutcomes[v.ID] = v.Outcome
+	}
+	stopSSE()
+	wantOutcomes := map[string]string{
+		"run-000001": "ok", "run-000002": "cache-hit", "run-000003": "ok",
+	}
+	for id, want := range wantOutcomes {
+		if endOutcomes[id] != want {
+			t.Fatalf("SSE outcomes = %v, want %v", endOutcomes, wantOutcomes)
+		}
+	}
+
+	var rep RunsReport
+	getJSON(t, ts.URL+"/v1/runs", &rep)
+	if rep.Total != 3 || len(rep.Runs) != 3 {
+		t.Fatalf("runs = %d/%d, want 3/3", rep.Total, len(rep.Runs))
+	}
+	// Newest first: mc, replay, cold.
+	if rep.Runs[0].Kind != "mc" || rep.Runs[0].Outcome != "ok" ||
+		rep.Runs[1].Kind != "synthesize" || rep.Runs[1].Outcome != "cache-hit" ||
+		rep.Runs[2].Kind != "synthesize" || rep.Runs[2].Outcome != "ok" {
+		t.Fatalf("run listing = %+v", rep.Runs)
+	}
+	if !rep.Runs[2].Converged || rep.Runs[2].Iterations < 2 {
+		t.Fatalf("cold synthesize summary = %+v", rep.Runs[2])
+	}
+
+	// The cold run's span tree: every lifecycle phase present, children
+	// nested inside their parents, sums consistent.
+	var rec obs.RunRecord
+	getJSON(t, ts.URL+"/v1/runs/run-000001", &rec)
+	byID := map[int]obs.SpanRecord{}
+	children := map[int][]obs.SpanRecord{}
+	names := map[string]int{}
+	for _, sp := range rec.Spans {
+		byID[sp.ID] = sp
+		children[sp.Parent] = append(children[sp.Parent], sp)
+		names[sp.Name]++
+	}
+	for _, want := range []string{"request", "queue-wait", "cache-lookup",
+		"synthesize", "iteration", "sizing", "layout-extract"} {
+		if names[want] == 0 {
+			t.Fatalf("span tree missing %q: %v", names, rec.Spans)
+		}
+	}
+	if names["iteration"] != rec.LayoutCalls || len(rec.Iterations) != rec.LayoutCalls {
+		t.Fatalf("iteration spans = %d, trace rows = %d, layout calls = %d",
+			names["iteration"], len(rec.Iterations), rec.LayoutCalls)
+	}
+	roots := children[0]
+	if len(roots) != 1 || roots[0].Name != "request" {
+		t.Fatalf("root spans = %+v", roots)
+	}
+	root := roots[0]
+	if root.DurationNS <= 0 || rec.DurationNS < root.DurationNS {
+		t.Fatalf("record %dns < root span %dns", rec.DurationNS, root.DurationNS)
+	}
+	for parent, kids := range children {
+		if parent == 0 {
+			continue
+		}
+		p := byID[parent]
+		var sum int64
+		for _, k := range kids {
+			if k.StartNS < p.StartNS || k.StartNS+k.DurationNS > p.StartNS+p.DurationNS {
+				t.Fatalf("span %s [%d,+%d] escapes parent %s [%d,+%d]",
+					k.Name, k.StartNS, k.DurationNS, p.Name, p.StartNS, p.DurationNS)
+			}
+			sum += k.DurationNS
+		}
+		if sum > p.DurationNS {
+			t.Fatalf("children of %s sum to %dns > parent %dns", p.Name, sum, p.DurationNS)
+		}
+	}
+
+	// Restart on the same ledger: history replays, sequence continues.
+	ts.Close()
+	srv.Close()
+	ledger.Close()
+	ledger2, err := obs.OpenLedger(path, obs.LedgerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := New(Config{Ledger: ledger2})
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer func() { ts2.Close(); srv2.Close(); ledger2.Close() }()
+
+	var rep2 RunsReport
+	getJSON(t, ts2.URL+"/v1/runs", &rep2)
+	if rep2.Total != 3 || rep2.Runs[0].ID != "run-000003" {
+		t.Fatalf("after restart runs = %+v", rep2)
+	}
+	var replayed obs.RunRecord
+	getJSON(t, ts2.URL+"/v1/runs/run-000001", &replayed)
+	if len(replayed.Spans) != len(rec.Spans) || replayed.Outcome != "ok" {
+		t.Fatalf("replayed record lost detail: %d spans vs %d", len(replayed.Spans), len(rec.Spans))
+	}
+	mustPost(ts2.URL, "/v1/mc", `{"n":3,"seed":7}`)
+	getJSON(t, ts2.URL+"/v1/runs", &rep2)
+	if rep2.Total != 4 || rep2.Runs[0].ID != "run-000004" {
+		t.Fatalf("sequence did not continue after restart: %+v", rep2.Runs)
 	}
 }

@@ -82,3 +82,15 @@ func (k *keyBuilder) sum() string {
 	h := sha256.Sum256([]byte(k.b.String()))
 	return hex.EncodeToString(h[:])
 }
+
+// specDigest hashes just (tech, spec) — no request kind or options — so
+// ledger records of the same synthesis target correlate across request
+// families (a Table-1 run and an MC run of the same spec share it).
+func specDigest(tech *techno.Tech, spec sizing.OTASpec) string {
+	k := &keyBuilder{}
+	k.b.WriteString("loas/spec|tech=")
+	k.b.WriteString(tech.Name)
+	k.num("temp", tech.Temp)
+	k.spec(spec)
+	return k.sum()
+}

@@ -13,6 +13,12 @@ var latencyBuckets = []float64{
 	0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 2.5, 5, 10, 30, 60, 120,
 }
 
+// queueWaitBuckets resolves the short end: an idle queue admits in
+// microseconds, a saturated one holds jobs for seconds.
+var queueWaitBuckets = []float64{
+	0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30,
+}
+
 // initMetrics builds the per-server registry. Counters the server
 // already tracks atomically (requests, cache hits, queue depth) are
 // exposed as gauges sampled at scrape time — one source of truth, two
@@ -22,6 +28,9 @@ func (s *Server) initMetrics() {
 	s.reg = r
 	s.latency = r.Histogram("loas_synth_latency_seconds",
 		"request latency of result endpoints (cache hits and backend runs)", latencyBuckets)
+	s.queueWait = r.Histogram("loas_queue_wait_seconds",
+		"time a request's job waited behind the bounded queue before a worker picked it up",
+		queueWaitBuckets)
 
 	r.GaugeFunc("loas_requests", "requests received",
 		func() float64 { return float64(s.requests.Load()) })
@@ -50,6 +59,19 @@ func (s *Server) initMetrics() {
 
 	r.GaugeFunc("loas_traces_stored", "convergence traces retained for /v1/trace",
 		func() float64 { return float64(s.traces.len()) })
+	r.GaugeFunc("loas_trace_evictions", "convergence traces dropped by the store's FIFO bound",
+		func() float64 { return float64(s.traces.evictions.Load()) })
+
+	r.GaugeFunc("loas_runs_stored", "run records retained for /v1/runs",
+		func() float64 { return float64(s.runs.len()) })
+	r.GaugeFunc("loas_ledger_errors", "run records that failed to append to the ledger",
+		func() float64 { return float64(s.ledgerErrs.Load()) })
+	r.GaugeFunc("loas_event_subscribers", "clients connected to /v1/events",
+		func() float64 { return float64(s.events.subscribers()) })
+	r.GaugeFunc("loas_events_published", "SSE frames published to /v1/events subscribers",
+		func() float64 { return float64(s.events.published.Load()) })
+	r.GaugeFunc("loas_event_subscribers_dropped", "slow /v1/events subscribers dropped",
+		func() float64 { return float64(s.events.dropped.Load()) })
 }
 
 // handleMetrics serves the Prometheus text exposition: the server's own

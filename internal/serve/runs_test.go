@@ -1,0 +1,236 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"loas/internal/obs"
+	"loas/internal/sizing"
+)
+
+// tracingStub is a stubBackend that also records its canned iterations
+// into the live trace the server hands down via ctx — the behaviour the
+// real StdBackend has through core.Options.Trace.
+type tracingStub struct {
+	stubBackend
+}
+
+func (b *tracingStub) Synthesize(ctx context.Context, spec sizing.OTASpec, req *SynthesizeRequest) ([]byte, []obs.Iteration, error) {
+	tr := obs.TraceFromContext(ctx)
+	for _, it := range stubIterations {
+		tr.Record(it)
+	}
+	return b.stubBackend.Synthesize(ctx, spec, req)
+}
+
+func getJSON(t *testing.T, url string, dst any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK && dst != nil {
+		if err := json.NewDecoder(resp.Body).Decode(dst); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+// TestRunsLifecycle pins the outcome labels of the three paths through
+// respond: a cold run is "ok", its replay is "cache-hit", and every
+// completed request shows up on /v1/runs newest first.
+func TestRunsLifecycle(t *testing.T) {
+	stub := &tracingStub{}
+	_, ts := newStubServer(t, Config{}, stub)
+
+	post(t, ts.URL+"/v1/synthesize", `{"case":2}`) // cold → ok
+	post(t, ts.URL+"/v1/synthesize", `{"case":2}`) // replay → cache-hit
+	post(t, ts.URL+"/v1/mc", `{"n":4}`)            // cold → ok
+
+	var rep RunsReport
+	getJSON(t, ts.URL+"/v1/runs", &rep)
+	if rep.Total != 3 || len(rep.Runs) != 3 {
+		t.Fatalf("runs = %d/%d, want 3/3", len(rep.Runs), rep.Total)
+	}
+	// Newest first: mc(ok), synthesize(cache-hit), synthesize(ok).
+	wants := []struct{ kind, outcome string }{
+		{"mc", "ok"}, {"synthesize", "cache-hit"}, {"synthesize", "ok"},
+	}
+	for i, w := range wants {
+		r := rep.Runs[i]
+		if r.Kind != w.kind || r.Outcome != w.outcome {
+			t.Fatalf("run %d = %s/%s, want %s/%s", i, r.Kind, r.Outcome, w.kind, w.outcome)
+		}
+		if r.ID != fmt.Sprintf("run-%06d", r.Seq) {
+			t.Fatalf("run %d id %q does not match seq %d", i, r.ID, r.Seq)
+		}
+	}
+	// The cold synthesize recorded the live iterations; the cache hit
+	// replayed bytes and recorded none.
+	if rep.Runs[2].Iterations != len(stubIterations) || !rep.Runs[2].Converged {
+		t.Fatalf("cold run summary = %+v, want %d iterations, converged", rep.Runs[2], len(stubIterations))
+	}
+	if rep.Runs[1].Iterations != 0 || rep.Runs[1].Converged {
+		t.Fatalf("cache-hit summary = %+v, want no iterations", rep.Runs[1])
+	}
+}
+
+// TestRunByIDSpanTree: GET /v1/runs/{id} returns the full span tree —
+// request → cache-lookup + queue-wait + synthesize — with the phase
+// durations summing to no more than the root.
+func TestRunByIDSpanTree(t *testing.T) {
+	stub := &tracingStub{}
+	_, ts := newStubServer(t, Config{}, stub)
+	post(t, ts.URL+"/v1/synthesize", `{}`)
+
+	var rep RunsReport
+	getJSON(t, ts.URL+"/v1/runs", &rep)
+	if len(rep.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(rep.Runs))
+	}
+	var rec obs.RunRecord
+	getJSON(t, ts.URL+"/v1/runs/"+rep.Runs[0].ID, &rec)
+
+	if rec.Outcome != "ok" || rec.Kind != "synthesize" {
+		t.Fatalf("record = %s/%s", rec.Kind, rec.Outcome)
+	}
+	if len(rec.Iterations) != len(stubIterations) {
+		t.Fatalf("iterations = %d, want %d", len(rec.Iterations), len(stubIterations))
+	}
+	byName := map[string]obs.SpanRecord{}
+	var root obs.SpanRecord
+	for _, s := range rec.Spans {
+		byName[s.Name] = s
+		if s.Parent == 0 {
+			root = s
+		}
+	}
+	for _, name := range []string{"request", "cache-lookup", "queue-wait", "synthesize"} {
+		if _, ok := byName[name]; !ok {
+			t.Fatalf("span %q missing from tree %v", name, rec.Spans)
+		}
+	}
+	if root.Name != "request" {
+		t.Fatalf("root span = %q, want request", root.Name)
+	}
+	var childSum int64
+	for _, name := range []string{"cache-lookup", "queue-wait", "synthesize"} {
+		s := byName[name]
+		if s.Parent != root.ID {
+			t.Fatalf("span %q parent = %d, want root %d", name, s.Parent, root.ID)
+		}
+		if s.DurationNS < 0 {
+			t.Fatalf("span %q has negative duration", name)
+		}
+		childSum += s.DurationNS
+	}
+	if childSum > root.DurationNS {
+		t.Fatalf("phase durations (%d ns) exceed the request span (%d ns)",
+			childSum, root.DurationNS)
+	}
+	if rec.DurationNS < root.DurationNS {
+		t.Fatalf("record duration %d ns below root span %d ns", rec.DurationNS, root.DurationNS)
+	}
+
+	// Unknown run IDs are 404.
+	if resp := getJSON(t, ts.URL+"/v1/runs/run-999999", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown run status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestRunsFilters exercises the /v1/runs query surface: kind, outcome,
+// converged, min_duration, limit, and the 400s for malformed values.
+func TestRunsFilters(t *testing.T) {
+	stub := &tracingStub{}
+	_, ts := newStubServer(t, Config{}, stub)
+	post(t, ts.URL+"/v1/synthesize", `{"case":1}`)
+	post(t, ts.URL+"/v1/synthesize", `{"case":1}`) // cache-hit
+	post(t, ts.URL+"/v1/mc", `{"n":4}`)            // mc: no iterations → not converged
+
+	fetch := func(query string) RunsReport {
+		t.Helper()
+		var rep RunsReport
+		getJSON(t, ts.URL+"/v1/runs"+query, &rep)
+		return rep
+	}
+	if rep := fetch("?kind=mc"); len(rep.Runs) != 1 || rep.Runs[0].Kind != "mc" {
+		t.Fatalf("kind filter: %+v", rep.Runs)
+	}
+	if rep := fetch("?outcome=cache-hit"); len(rep.Runs) != 1 || rep.Runs[0].Outcome != "cache-hit" {
+		t.Fatalf("outcome filter: %+v", rep.Runs)
+	}
+	if rep := fetch("?converged=true"); len(rep.Runs) != 1 || rep.Runs[0].Kind != "synthesize" {
+		t.Fatalf("converged filter: %+v", rep.Runs)
+	}
+	if rep := fetch("?limit=2"); len(rep.Runs) != 2 || rep.Total != 3 {
+		t.Fatalf("limit: got %d runs, total %d", len(rep.Runs), rep.Total)
+	}
+	// Every run here completes in far less than a minute.
+	if rep := fetch("?min_duration=1m"); len(rep.Runs) != 0 {
+		t.Fatalf("min_duration filter: %+v", rep.Runs)
+	}
+	if rep := fetch("?topology=folded-cascode"); len(rep.Runs) != 3 {
+		t.Fatalf("topology filter: %+v", rep.Runs)
+	}
+	for _, q := range []string{"?converged=maybe", "?min_duration=fast", "?limit=0", "?limit=x"} {
+		if resp := getJSON(t, ts.URL+"/v1/runs"+q, nil); resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+// TestRunStoreBounded: the in-memory store evicts oldest-first at its
+// bound, like the trace store.
+func TestRunStoreBounded(t *testing.T) {
+	rs := newRunStore(2)
+	for i := 1; i <= 3; i++ {
+		rs.add(&obs.RunRecord{ID: fmt.Sprintf("run-%06d", i), Seq: int64(i), Kind: "mc"})
+	}
+	if rs.len() != 2 {
+		t.Fatalf("len = %d, want 2", rs.len())
+	}
+	if _, ok := rs.get("run-000001"); ok {
+		t.Fatal("oldest run should have been evicted")
+	}
+	recs := rs.list(runFilter{})
+	if len(recs) != 2 || recs[0].Seq != 3 || recs[1].Seq != 2 {
+		t.Fatalf("list = %+v", recs)
+	}
+}
+
+// TestQueueWaitHistogram: a request that reaches the backend observes
+// exactly one queue-wait sample; cache hits observe none.
+func TestQueueWaitHistogram(t *testing.T) {
+	stub := &tracingStub{}
+	_, ts := newStubServer(t, Config{}, stub)
+	post(t, ts.URL+"/v1/synthesize", `{}`)
+	post(t, ts.URL+"/v1/synthesize", `{}`) // hit: no queue admission
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	for _, want := range []string{
+		"# TYPE loas_queue_wait_seconds histogram",
+		"loas_queue_wait_seconds_count 1",
+		"loas_runs_stored 2",
+		"loas_trace_evictions 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -14,6 +14,9 @@
 //	GET  /v1/topologies   registered design plans     → TopologiesReport JSON
 //	GET  /v1/layout.svg   case-4 generate-mode layout → SVG
 //	GET  /v1/trace/{key}  convergence trace of a synthesis → TraceReport JSON
+//	GET  /v1/runs         recent run history (filterable)  → RunsReport JSON
+//	GET  /v1/runs/{id}    one run: span tree + iterations  → obs.RunRecord JSON
+//	GET  /v1/events       live run lifecycle stream        → Server-Sent Events
 //	GET  /healthz         liveness
 //	GET  /stats           cache + queue + latency counters (also expvar)
 //	GET  /metrics         Prometheus text exposition (latency histogram,
@@ -67,6 +70,13 @@ type Config struct {
 	Backend    Backend         // default StdBackend over Tech
 	// MaxTraces bounds the convergence-trace store (default 256).
 	MaxTraces int
+	// MaxRuns bounds the in-memory run store behind /v1/runs (default 1024).
+	MaxRuns int
+	// Ledger, when non-nil, receives one obs.RunRecord per completed run
+	// and seeds the run store + sequence numbering from its replayed
+	// history, so /v1/runs survives daemon restarts (loasd -ledger). A
+	// nil ledger keeps history in memory only.
+	Ledger *obs.Ledger
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
 }
@@ -85,15 +95,21 @@ type Server struct {
 	pool   *parallel.Pool
 	mux    *http.ServeMux
 	traces *traceStore
+	runs   *runStore
+	events *eventBus
+	ledger *obs.Ledger
 
-	reg     *obs.Registry
-	latency *obs.Histogram
+	reg       *obs.Registry
+	latency   *obs.Histogram
+	queueWait *obs.Histogram
 
 	requests    atomic.Int64
 	errs        atomic.Int64
 	backendRuns atomic.Int64
 	latencyNS   atomic.Int64
 	served      atomic.Int64
+	runSeq      atomic.Int64
+	ledgerErrs  atomic.Int64
 }
 
 // New builds a server from the config and starts its worker pool.
@@ -128,7 +144,17 @@ func New(cfg Config) *Server {
 		pool:    parallel.NewPool(cfg.Workers, cfg.QueueDepth),
 		mux:     http.NewServeMux(),
 		traces:  newTraceStore(cfg.MaxTraces),
+		runs:    newRunStore(cfg.MaxRuns),
+		events:  newEventBus(),
+		ledger:  cfg.Ledger,
 	}
+	// A restarted daemon resumes where the ledger left off: the replayed
+	// tail seeds /v1/runs and run numbering continues past LastSeq.
+	for _, rec := range cfg.Ledger.History() {
+		rec := rec
+		s.runs.add(&rec)
+	}
+	s.runSeq.Store(cfg.Ledger.LastSeq())
 	s.initMetrics()
 	s.mux.HandleFunc("POST /v1/synthesize", s.handleSynthesize)
 	s.mux.HandleFunc("POST /v1/table1", s.handleTable1)
@@ -136,6 +162,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/topologies", s.handleTopologies)
 	s.mux.HandleFunc("GET /v1/layout.svg", s.handleLayoutSVG)
 	s.mux.HandleFunc("GET /v1/trace/{key}", s.handleTraceKey)
+	s.mux.HandleFunc("GET /v1/runs", s.handleRuns)
+	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleRunByID)
+	s.mux.HandleFunc("GET /v1/events", s.handleEvents)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -213,7 +242,9 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := req.cacheKey(s.tech, spec)
-	s.respond(w, key, "application/json",
+	info := runInfo{kind: "synthesize", topology: req.Topology, caseN: req.Case,
+		key: key, specDigest: specDigest(s.tech, spec)}
+	s.respond(w, info, "application/json",
 		func(ctx context.Context) ([]byte, error) {
 			body, iters, err := s.backend.Synthesize(ctx, spec, &req)
 			if err == nil {
@@ -261,7 +292,9 @@ func (s *Server) handleTable1(w http.ResponseWriter, r *http.Request) {
 		s.badRequest(w, err)
 		return
 	}
-	s.respond(w, req.cacheKey(s.tech, spec), "application/json",
+	info := runInfo{kind: "table1", key: req.cacheKey(s.tech, spec),
+		specDigest: specDigest(s.tech, spec)}
+	s.respond(w, info, "application/json",
 		func(ctx context.Context) ([]byte, error) {
 			return s.backend.Table1(ctx, spec)
 		})
@@ -282,7 +315,9 @@ func (s *Server) handleMC(w http.ResponseWriter, r *http.Request) {
 		s.badRequest(w, err)
 		return
 	}
-	s.respond(w, req.cacheKey(s.tech, spec), "application/json",
+	info := runInfo{kind: "mc", topology: req.Topology, caseN: req.Case,
+		key: req.cacheKey(s.tech, spec), specDigest: specDigest(s.tech, spec)}
+	s.respond(w, info, "application/json",
 		func(ctx context.Context) ([]byte, error) {
 			return s.backend.MC(ctx, spec, &req)
 		})
@@ -312,7 +347,9 @@ func (s *Server) handleTopologies(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleLayoutSVG(w http.ResponseWriter, _ *http.Request) {
 	spec := s.spec
-	s.respond(w, layoutCacheKey(s.tech, spec), "image/svg+xml",
+	info := runInfo{kind: "layout.svg", key: layoutCacheKey(s.tech, spec),
+		specDigest: specDigest(s.tech, spec)}
+	s.respond(w, info, "image/svg+xml",
 		func(ctx context.Context) ([]byte, error) {
 			return s.backend.LayoutSVG(ctx, spec)
 		})
@@ -320,20 +357,37 @@ func (s *Server) handleLayoutSVG(w http.ResponseWriter, _ *http.Request) {
 
 // respond is the one path every result endpoint takes:
 // cache → singleflight → bounded queue → backend → cache.
-func (s *Server) respond(w http.ResponseWriter, key, contentType string,
+//
+// Every pass through here is also one run: a span tree is recorded
+// (request → cache-lookup → queue-wait → <kind> → backend phases), the
+// finished obs.RunRecord lands in the run store and the ledger, and the
+// lifecycle is narrated on /v1/events. The outcome labels the path
+// taken: "cache-hit" (byte replay), "ok" (this request's leader closure
+// executed the backend), "dedup" (joined another request's in-flight
+// execution) or "error".
+func (s *Server) respond(w http.ResponseWriter, info runInfo, contentType string,
 	compute func(context.Context) ([]byte, error)) {
 	start := time.Now()
 	s.requests.Add(1)
 	evRequests.Add(1)
+	ar := s.beginRun(info, start)
 
-	if v, ok := s.cache.Get(key); ok {
+	lookup := ar.root.Child("cache-lookup")
+	v, ok := s.cache.Get(info.key)
+	lookup.End()
+	if ok {
 		evCacheHits.Add(1)
-		s.write(w, v, key, "hit", start)
+		s.finishRun(ar, outcomeCacheHit, nil, len(v.Body))
+		s.write(w, v, info.key, "hit", start)
 		return
 	}
 	evCacheMisses.Add(1)
 
-	v, err, shared := s.flight.Do(key, func() (Value, error) {
+	// Opened before Submit, ended at job start: the span (and the
+	// loas_queue_wait_seconds histogram) measure the real time this
+	// request's work sat behind the bounded queue.
+	queueWait := ar.root.Child("queue-wait")
+	v, err, shared := s.flight.Do(info.key, func() (Value, error) {
 		// Leader: run under the daemon's own lifetime, not the first
 		// client's — if that client disconnects, joiners and the cache
 		// still get the result.
@@ -341,14 +395,20 @@ func (s *Server) respond(w http.ResponseWriter, key, contentType string,
 		defer cancel()
 		var out Value
 		err := s.pool.Submit(ctx, func(ctx context.Context) error {
+			queueWait.End()
+			s.queueWait.Observe(queueWait.Duration().Seconds())
 			s.backendRuns.Add(1)
 			evBackendRuns.Add(1)
+			work := ar.root.Child(info.kind)
+			defer work.End()
+			ctx = obs.ContextWithSpan(ctx, work)
+			ctx = obs.ContextWithTrace(ctx, ar.trace)
 			body, cErr := compute(ctx)
 			if cErr != nil {
 				return cErr
 			}
 			out = Value{Body: body, ContentType: contentType}
-			s.cache.Put(key, out)
+			s.cache.Put(info.key, out)
 			return nil
 		})
 		if err != nil {
@@ -356,18 +416,25 @@ func (s *Server) respond(w http.ResponseWriter, key, contentType string,
 		}
 		return out, nil
 	})
+	// Idempotent close for the paths where the job never started
+	// (joiner, queue full, pool closed). Those spans measured waiting on
+	// someone else's execution, not this request's queue admission, so
+	// only the in-job End above feeds the histogram.
+	queueWait.End()
 	if shared {
 		evDedupJoined.Add(1)
 	}
 	if err != nil {
+		s.finishRun(ar, outcomeError, err, 0)
 		s.fail(w, err)
 		return
 	}
-	src := "miss"
+	src, outcome := "miss", outcomeOK
 	if shared {
-		src = "dedup"
+		src, outcome = "dedup", outcomeDedup
 	}
-	s.write(w, v, key, src, start)
+	s.finishRun(ar, outcome, nil, len(v.Body))
+	s.write(w, v, info.key, src, start)
 }
 
 func (s *Server) write(w http.ResponseWriter, v Value, key, src string, start time.Time) {

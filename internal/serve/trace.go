@@ -2,6 +2,7 @@ package serve
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"loas/internal/obs"
 )
@@ -21,10 +22,11 @@ type TraceReport struct {
 // events) so a fixed entry bound is enough; like the result cache, a
 // stored trace is immutable and replayed as recorded.
 type traceStore struct {
-	mu    sync.Mutex
-	max   int
-	order []string // insertion order for FIFO eviction
-	m     map[string][]obs.Iteration
+	mu        sync.Mutex
+	max       int
+	order     []string // insertion order for FIFO eviction
+	m         map[string][]obs.Iteration
+	evictions atomic.Int64 // traces dropped by the FIFO bound (loas_trace_evictions)
 }
 
 func newTraceStore(max int) *traceStore {
@@ -47,6 +49,7 @@ func (ts *traceStore) put(key string, iters []obs.Iteration) {
 		for len(ts.order) > ts.max {
 			delete(ts.m, ts.order[0])
 			ts.order = ts.order[1:]
+			ts.evictions.Add(1)
 		}
 	}
 	ts.m[key] = iters
