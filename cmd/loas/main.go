@@ -9,7 +9,7 @@
 //	loas fig5 [-svg file]      generate the case-4 OTA layout
 //	loas flow                  proposed vs traditional flow comparison
 //	loas netlist [-case N]     print the extracted SPICE-like netlist
-//	loas synth [-topology T] [-case N] [-json]  one layout-in-the-loop synthesis
+//	loas synth [-topology T] [-case N] [-refine] [-json]  one layout-in-the-loop synthesis
 //	loas topologies            list the registered design plans
 //	loas mc [-topology T] [-n N] [-json]  Monte-Carlo mismatch offset analysis
 //	loas techeval              technology characterization report
@@ -387,10 +387,16 @@ func runSynth(tech *techno.Tech, args []string, out io.Writer) error {
 	caseN := fs.Int("case", 4, "parasitic-awareness case (1-4)")
 	maxCalls := fs.Int("maxcalls", 8, "layout-call bound of the convergence loop")
 	skipVerify := fs.Bool("skipverify", false, "skip the extracted-netlist measurement")
+	refine := fs.Bool("refine", false, "close the loop: re-size until extracted performance meets the spec at all five corners")
+	refineRounds := fs.Int("refine-rounds", core.DefaultRefineMaxRounds, "outer refinement round budget (with -refine)")
+	refineStep := fs.Float64("refine-step", core.DefaultRefineMarginStep, "fraction of the worst-corner miss folded into the next round's target (with -refine)")
 	asJSON := fs.Bool("json", false, "emit the summary and trace as JSON")
 	ledgerPath := fs.String("ledger", "", "append this run to the JSONL ledger at this path (same format as loasd -ledger)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *refine && *skipVerify {
+		return errors.New("-refine drives re-sizing from extracted verification; drop -skipverify")
 	}
 	name, spec, err := topoSpec(*topology)
 	if err != nil {
@@ -422,6 +428,11 @@ func runSynth(tech *techno.Tech, args []string, out io.Writer) error {
 		MaxLayoutCalls: *maxCalls,
 		SkipVerify:     *skipVerify,
 		Span:           root,
+		Refine: core.RefineOptions{
+			Enabled:    *refine,
+			MaxRounds:  *refineRounds,
+			MarginStep: *refineStep,
+		},
 	})
 	if ledger != nil {
 		root.End()
@@ -469,6 +480,21 @@ func runSynth(tech *techno.Tech, args []string, out io.Writer) error {
 	if res.Parasitics != nil {
 		fmt.Fprintf(out, "layout: %.1f x %.1f um, %.0f um2\n",
 			res.Parasitics.WidthUM, res.Parasitics.HeightUM, res.Parasitics.AreaUM2)
+	}
+	if rep := res.Refine; rep != nil {
+		status := "best effort — original spec NOT met at all corners"
+		if rep.Met {
+			status = "original spec met at all five corners"
+		}
+		fmt.Fprintf(out, "\nrefinement: %d round(s), accepted round %d, %s\n",
+			len(rep.Rounds), rep.BestRound, status)
+		for _, rr := range rep.Rounds {
+			fmt.Fprintf(out, "  round %d: target GBW %.2f MHz, PM %.1f deg -> worst-corner margin %+.4f\n",
+				rr.Round, rr.TargetGBW/1e6, rr.TargetPM, rr.WorstMargin)
+		}
+		if rep.Aborted != "" {
+			fmt.Fprintf(out, "  aborted: %s\n", rep.Aborted)
+		}
 	}
 	fmt.Fprintln(out, "\nconvergence trace:")
 	_, err = io.WriteString(out, obs.ConvergenceTable(res.Trace))

@@ -243,3 +243,49 @@ func TestUnknownTopologyExitsNonZero(t *testing.T) {
 		}
 	}
 }
+
+func TestSmokeSynthRefine(t *testing.T) {
+	out := runOut(t, "synth", "-case", "1", "-refine", "-refine-rounds", "1")
+	for _, want := range []string{"refinement: 1 round(s)", "round 1: target GBW", "worst-corner margin"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("refined synth output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSmokeSynthRefineJSON(t *testing.T) {
+	out := runOut(t, "synth", "-case", "1", "-refine", "-refine-rounds", "1", "-json")
+	var wrapper struct {
+		Summary struct {
+			Refine *struct {
+				MaxRounds int `json:"max_rounds"`
+				BestRound int `json:"best_round"`
+				Rounds    []struct {
+					Round   int `json:"round"`
+					Corners []struct {
+						Corner string `json:"corner"`
+						Met    bool   `json:"met"`
+					} `json:"corners"`
+				} `json:"rounds"`
+			} `json:"refine"`
+		} `json:"summary"`
+	}
+	if err := json.Unmarshal([]byte(out), &wrapper); err != nil {
+		t.Fatalf("synth -refine -json not parseable: %v\n%s", err, out)
+	}
+	ref := wrapper.Summary.Refine
+	if ref == nil || ref.MaxRounds != 1 || len(ref.Rounds) != 1 {
+		t.Fatalf("refine report implausible: %+v", ref)
+	}
+	if len(ref.Rounds[0].Corners) != 5 {
+		t.Fatalf("round 1 scored %d corners, want 5", len(ref.Rounds[0].Corners))
+	}
+}
+
+func TestSynthRefineRejectsSkipVerify(t *testing.T) {
+	var buf bytes.Buffer
+	err := run("synth", []string{"-case", "1", "-refine", "-skipverify"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "skipverify") {
+		t.Fatalf("synth -refine -skipverify: err = %v, want rejection", err)
+	}
+}

@@ -53,6 +53,11 @@ type Options struct {
 	// (with "sizing" and "layout-extract" children) plus the two
 	// verification phases. A nil Span records nothing.
 	Span *obs.Span
+	// Refine configures the closed-loop post-layout refinement: when
+	// enabled, extracted corner performance drives re-sizing rounds
+	// until the original spec is met at every corner (see refine.go).
+	// The zero value keeps the one-shot flow bit-identical.
+	Refine RefineOptions
 }
 
 func (o *Options) defaults() {
@@ -91,8 +96,14 @@ type Result struct {
 	// Trace holds one event per sizing↔layout iteration: parasitic
 	// delta, hot-net and total capacitances, fold count, design point
 	// and per-phase wall time — the observable form of the paper's
-	// convergence story.
+	// convergence story. A refined result carries the iterations of
+	// every outer round in round order, each tagged with its Round.
 	Trace []obs.Iteration
+
+	// Refine is the structured report of the closed-loop refinement
+	// (nil for one-shot runs). The Result fields above describe the
+	// accepted round's design.
+	Refine *RefineReport
 }
 
 // metricName makes a topology name safe for a Prometheus metric name.
@@ -107,8 +118,22 @@ func metricName(topology string) string {
 // followed by one generation call. Cases 3 and 4 iterate sizing ↔ layout
 // plan until the parasitic report reaches a fixpoint (the paper's example
 // needed three calls).
+//
+// With opts.Refine.Enabled the whole loop becomes the inner stage of an
+// outer corner-driven refinement (SynthesizeRefined); otherwise this is
+// the one-shot flow, bit-identical to the pre-refinement engine.
 func Synthesize(tech *techno.Tech, spec sizing.OTASpec, opts Options) (*Result, error) {
 	opts.defaults()
+	if opts.Refine.Enabled {
+		return synthesizeRefined(tech, spec, opts)
+	}
+	return synthesizeOnce(tech, spec, opts, 0)
+}
+
+// synthesizeOnce is one pass of the sizing↔layout loop plus
+// verification. round tags the recorded iterations with the outer
+// refinement round (0 = one-shot, omitted on the wire).
+func synthesizeOnce(tech *techno.Tech, spec sizing.OTASpec, opts Options, round int) (*Result, error) {
 	start := time.Now()
 	plan, err := sizing.Lookup(opts.Topology)
 	if err != nil {
@@ -162,6 +187,7 @@ func Synthesize(tech *techno.Tech, spec sizing.OTASpec, opts Options) (*Result, 
 		op := design.OperatingPoint()
 		it := obs.Iteration{
 			Topology:  plan.Name,
+			Round:     round,
 			Call:      call,
 			DeltaF:    delta,
 			OutCapF:   newPar.TotalNetCap(sizing.NetOut),

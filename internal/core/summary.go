@@ -18,6 +18,9 @@ type Summary struct {
 	WidthUM      float64            `json:"width_um"`
 	HeightUM     float64            `json:"height_um"`
 	AreaUM2      float64            `json:"area_um2"`
+	// Refine carries the closed-loop refinement report (absent for
+	// one-shot runs, keeping their wire format byte-identical).
+	Refine *RefineReport `json:"refine,omitempty"`
 }
 
 // Summary projects the result onto its serializable form. The Case
@@ -30,6 +33,7 @@ func (r *Result) Summary() Summary {
 		LayoutCalls:  r.LayoutCalls,
 		SizingPasses: r.SizingPasses,
 		ElapsedMS:    float64(r.Elapsed.Nanoseconds()) / 1e6,
+		Refine:       r.Refine,
 	}
 	if r.Parasitics != nil {
 		s.WidthUM = r.Parasitics.WidthUM

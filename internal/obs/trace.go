@@ -27,7 +27,12 @@ type Iteration struct {
 	// (omitted on the wire when unset, so traces recorded before the
 	// label existed decode and compare unchanged).
 	Topology string `json:"topology,omitempty"`
-	Call     int    `json:"call"` // 1-based layout-call number
+	// Round is the 1-based outer refinement round that ran this
+	// iteration; 0 (omitted on the wire) for one-shot synthesis, so
+	// traces recorded before closed-loop refinement existed decode and
+	// compare unchanged.
+	Round int `json:"round,omitempty"`
+	Call  int `json:"call"` // 1-based layout-call number
 	// DeltaF is the max parasitic change vs the previous report in
 	// farads (extract.MaxDelta); -1 on the first call, which has no
 	// previous report to diff against.
@@ -109,15 +114,30 @@ func (t *Trace) Len() int {
 // ConvergenceTable renders iterations as the human-readable convergence
 // table (`loas trace`, `loas converge`): one row per layout call with
 // the parasitic delta, the two hot-net capacitances, the design point
-// and the per-phase wall time.
+// and the per-phase wall time. Traces produced by the closed-loop
+// refinement (any iteration with Round > 0) gain a leading round
+// column, so the outer loop's structure shows in the same table.
 func ConvergenceTable(iters []Iteration) string {
+	refined := false
+	for _, p := range iters {
+		if p.Round > 0 {
+			refined = true
+			break
+		}
+	}
 	var b strings.Builder
 	b.WriteString("Parasitic convergence (case-4 loop)\n")
+	if refined {
+		b.WriteString(" round")
+	}
 	b.WriteString("  call   Δ(fF)   C(out) fF  C(fn1) fF   W1 (µm)   Lc (µm)  Itail (µA)  folds  size(ms)  layout(ms)\n")
 	for _, p := range iters {
 		delta := "    —"
 		if p.DeltaF >= 0 {
 			delta = fmt.Sprintf("%7.2f", p.DeltaF*1e15)
+		}
+		if refined {
+			fmt.Fprintf(&b, " %5d", p.Round)
 		}
 		fmt.Fprintf(&b, "  %4d %s %10.1f %10.1f %9.2f %9.2f %10.1f %6d %9.2f %11.2f\n",
 			p.Call, delta, p.OutCapF*1e15, p.FN1CapF*1e15,

@@ -1,0 +1,160 @@
+package repro
+
+import (
+	"fmt"
+
+	"loas/internal/core"
+	"loas/internal/sizing"
+	"loas/internal/techno"
+)
+
+// Golden-file encoding of the closed-loop refinement flow. One entry
+// per topology pins, to the ulp: the refined design point the loop
+// accepted, the accepted round's extracted performance at every process
+// corner, and the outer-loop trajectory (round count, accepted round,
+// per-round effective targets). The refinement loop is bit-deterministic
+// by construction — fixed corner order, worker-invariant inner engine —
+// which is what makes this golden viable; any drift in the corner
+// models, the margin arithmetic, or the tightening schedule diffs here
+// before it can silently move the refined designs.
+
+// GoldenRefineRound pins one outer-loop round's effective targets and
+// worst-corner acceptance margin.
+type GoldenRefineRound struct {
+	Round       int    `json:"round"`
+	TargetGBW   string `json:"target_gbw_hz"`
+	TargetPM    string `json:"target_pm_deg"`
+	LayoutCalls int    `json:"layout_calls"`
+	WorstMargin string `json:"worst_margin"`
+	Met         bool   `json:"met"`
+}
+
+// GoldenRefineEntry is one topology's refined synthesis, bit-exact.
+type GoldenRefineEntry struct {
+	Topology  string              `json:"topology"`
+	Case      int                 `json:"case"`
+	Rounds    []GoldenRefineRound `json:"rounds"`
+	BestRound int                 `json:"best_round"`
+	Met       bool                `json:"met"`
+	// Itail/Lc/Devices are the accepted round's design point.
+	Itail   string                  `json:"itail_a"`
+	Lc      string                  `json:"lc_m"`
+	Devices map[string]GoldenDevice `json:"devices"`
+	// Corners holds the accepted round's extracted performance at each
+	// of the five process corners.
+	Corners map[string]GoldenPerf `json:"corners"`
+}
+
+// GoldenRefineReport is the committed testdata/refine_golden.json
+// schema.
+type GoldenRefineReport struct {
+	Tech    string              `json:"tech"`
+	Entries []GoldenRefineEntry `json:"entries"`
+}
+
+// RefineGolden runs the closed-loop refined synthesis for one
+// registered topology under its default specification at the given
+// parasitic-awareness case and projects the outcome onto the golden
+// schema.
+func RefineGolden(tech *techno.Tech, topology string, caseN int) (*GoldenRefineEntry, error) {
+	plan, err := sizing.Lookup(topology)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.SynthesizeRefined(tech, plan.DefaultSpec(), core.Options{
+		Topology: plan.Name,
+		Case:     caseN,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := res.Refine
+	op := res.Design.OperatingPoint()
+	e := &GoldenRefineEntry{
+		Topology:  plan.Name,
+		Case:      caseN,
+		BestRound: rep.BestRound,
+		Met:       rep.Met,
+		Itail:     hexF(op.Itail),
+		Lc:        hexF(op.Lc),
+		Devices:   map[string]GoldenDevice{},
+		Corners:   map[string]GoldenPerf{},
+	}
+	for _, rr := range rep.Rounds {
+		e.Rounds = append(e.Rounds, GoldenRefineRound{
+			Round:       rr.Round,
+			TargetGBW:   hexF(rr.TargetGBW),
+			TargetPM:    hexF(rr.TargetPM),
+			LayoutCalls: rr.LayoutCalls,
+			WorstMargin: hexF(rr.WorstMargin),
+			Met:         rr.Met,
+		})
+	}
+	for name, d := range res.Design.DeviceTable() {
+		e.Devices[name] = GoldenDevice{W: hexF(d.W), L: hexF(d.L)}
+	}
+	for _, c := range rep.Rounds[rep.BestRound-1].Corners {
+		e.Corners[c.Corner] = goldenPerf(c.Perf)
+	}
+	return e, nil
+}
+
+// DiffRefineGolden compares a live refined entry against the committed
+// one, returning one line per mismatch (empty = bit-identical).
+func DiffRefineGolden(want, got *GoldenRefineEntry) []string {
+	var bad []string
+	add := func(format string, args ...interface{}) {
+		bad = append(bad, fmt.Sprintf(format, args...))
+	}
+	pfx := want.Topology
+	if want.Topology != got.Topology {
+		add("topology: want %s, got %s", want.Topology, got.Topology)
+	}
+	if want.Case != got.Case {
+		add("%s.case: want %d, got %d", pfx, want.Case, got.Case)
+	}
+	if want.BestRound != got.BestRound {
+		add("%s.best_round: want %d, got %d", pfx, want.BestRound, got.BestRound)
+	}
+	if want.Met != got.Met {
+		add("%s.met: want %v, got %v", pfx, want.Met, got.Met)
+	}
+	if len(want.Rounds) != len(got.Rounds) {
+		add("%s: round count: want %d, got %d", pfx, len(want.Rounds), len(got.Rounds))
+	} else {
+		for i := range want.Rounds {
+			w, g := want.Rounds[i], got.Rounds[i]
+			if w != g {
+				add("%s.rounds[%d]: want %+v, got %+v", pfx, i, w, g)
+			}
+		}
+	}
+	for name, field := range map[string][2]string{
+		"itail_a": {want.Itail, got.Itail},
+		"lc_m":    {want.Lc, got.Lc},
+	} {
+		if field[0] != field[1] {
+			add("%s.%s: want %s, got %s", pfx, name, field[0], field[1])
+		}
+	}
+	for _, name := range sortedDevKeys(want.Devices) {
+		if want.Devices[name] != got.Devices[name] {
+			add("%s.devices.%s: want %+v, got %+v", pfx, name, want.Devices[name], got.Devices[name])
+		}
+	}
+	if len(got.Devices) != len(want.Devices) {
+		add("%s: device count: want %d, got %d", pfx, len(want.Devices), len(got.Devices))
+	}
+	for corner, w := range want.Corners {
+		g, ok := got.Corners[corner]
+		if !ok {
+			add("%s.corners.%s: missing", pfx, corner)
+			continue
+		}
+		diffPerf(&bad, pfx+".corners."+corner, w, g)
+	}
+	if len(got.Corners) != len(want.Corners) {
+		add("%s: corner count: want %d, got %d", pfx, len(want.Corners), len(got.Corners))
+	}
+	return bad
+}

@@ -24,6 +24,11 @@ type SynthesizeRequest struct {
 	Spec           *sizing.OTASpec `json:"spec,omitempty"`
 	MaxLayoutCalls int             `json:"max_layout_calls,omitempty"`
 	SkipVerify     bool            `json:"skip_verify,omitempty"`
+	// Refine turns on the closed-loop corner-driven refinement; the two
+	// sub-parameters default to the engine's own defaults when zero.
+	Refine           bool    `json:"refine,omitempty"`
+	RefineMaxRounds  int     `json:"refine_max_rounds,omitempty"`
+	RefineMarginStep float64 `json:"refine_margin_step,omitempty"`
 }
 
 func (r *SynthesizeRequest) normalize() error {
@@ -40,6 +45,30 @@ func (r *SynthesizeRequest) normalize() error {
 	if r.Case < 1 || r.Case > core.NumTable1Cases {
 		return fmt.Errorf("case must be 1..%d, got %d", core.NumTable1Cases, r.Case)
 	}
+	if !r.Refine {
+		// Refinement sub-parameters are inert without refine=true; zero
+		// them so such requests share the unrefined cache entry.
+		r.RefineMaxRounds = 0
+		r.RefineMarginStep = 0
+		return nil
+	}
+	if r.SkipVerify {
+		return fmt.Errorf("refine requires extracted verification; drop skip_verify")
+	}
+	// Canonicalize explicit defaults onto the implicit ones so both
+	// spellings hash to one cache entry.
+	if r.RefineMaxRounds == 0 {
+		r.RefineMaxRounds = core.DefaultRefineMaxRounds
+	}
+	if r.RefineMarginStep == 0 {
+		r.RefineMarginStep = core.DefaultRefineMarginStep
+	}
+	if r.RefineMaxRounds < 1 || r.RefineMaxRounds > 16 {
+		return fmt.Errorf("refine_max_rounds must be 1..16, got %d", r.RefineMaxRounds)
+	}
+	if !(r.RefineMarginStep > 0 && r.RefineMarginStep <= 2) {
+		return fmt.Errorf("refine_margin_step must be in (0, 2], got %g", r.RefineMarginStep)
+	}
 	return nil
 }
 
@@ -50,6 +79,12 @@ func (r *SynthesizeRequest) cacheKey(tech *techno.Tech, spec sizing.OTASpec) str
 	k.int("case", int64(r.Case))
 	k.int("maxcalls", int64(r.MaxLayoutCalls))
 	k.bool("skipverify", r.SkipVerify)
+	// Refined and one-shot results are distinct cache entries, and so
+	// are refinements under different round budgets or margin steps
+	// (MarginStep hashes by exact bit pattern like every float here).
+	k.bool("refine", r.Refine)
+	k.int("refrounds", int64(r.RefineMaxRounds))
+	k.num("refstep", r.RefineMarginStep)
 	return k.sum()
 }
 
@@ -157,6 +192,11 @@ func (b *StdBackend) Synthesize(ctx context.Context, spec sizing.OTASpec, req *S
 		SkipVerify:     req.SkipVerify,
 		Span:           obs.SpanFromContext(ctx),
 		Trace:          obs.TraceFromContext(ctx),
+		Refine: core.RefineOptions{
+			Enabled:    req.Refine,
+			MaxRounds:  req.RefineMaxRounds,
+			MarginStep: req.RefineMarginStep,
+		},
 	})
 	if err != nil {
 		return nil, nil, err

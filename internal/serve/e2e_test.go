@@ -319,3 +319,157 @@ func TestEndToEndLedgerDaemon(t *testing.T) {
 		t.Fatalf("sequence did not continue after restart: %+v", rep2.Runs)
 	}
 }
+
+// TestEndToEndRefineDaemon is the closed-loop acceptance path over
+// HTTP: a refined request runs the outer loop on the real engine, the
+// ledger record carries round-tagged iterations under refine-round
+// spans, the SSE feed streams an iteration event per round live, the
+// identical request replays from cache, and the unrefined spelling of
+// the same case keys (and runs) separately.
+func TestEndToEndRefineDaemon(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end refine test runs real synthesis")
+	}
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	ledger, err := obs.OpenLedger(path, obs.LedgerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{Ledger: ledger})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() { ts.Close(); srv.Close(); ledger.Close() }()
+
+	frames, stopSSE := sseClient(t, ts.URL)
+
+	const refineBody = `{"case":1,"refine":true,"refine_max_rounds":2}`
+	r1, b1 := post(t, ts.URL+"/v1/synthesize", refineBody)
+	if r1.StatusCode != http.StatusOK {
+		t.Fatalf("refined synthesize: status %d: %s", r1.StatusCode, b1)
+	}
+	if h := r1.Header.Get("X-Loas-Cache"); h != "miss" {
+		t.Fatalf("cold refined run X-Loas-Cache = %q, want miss", h)
+	}
+	refKey := r1.Header.Get("X-Loas-Key")
+
+	var sum struct {
+		Refine *struct {
+			MaxRounds int `json:"max_rounds"`
+			BestRound int `json:"best_round"`
+			Rounds    []struct {
+				Round   int  `json:"round"`
+				Met     bool `json:"met"`
+				Corners []struct {
+					Corner string `json:"corner"`
+				} `json:"corners"`
+			} `json:"rounds"`
+		} `json:"refine"`
+	}
+	if err := json.Unmarshal(b1, &sum); err != nil {
+		t.Fatalf("refined summary: %v", err)
+	}
+	if sum.Refine == nil || sum.Refine.MaxRounds != 2 || len(sum.Refine.Rounds) != 2 {
+		t.Fatalf("refined summary report = %+v", sum.Refine)
+	}
+	for i, rr := range sum.Refine.Rounds {
+		if rr.Round != i+1 || len(rr.Corners) != 5 {
+			t.Fatalf("round %d malformed: %+v", i+1, rr)
+		}
+	}
+
+	// Identical request: byte replay from cache under the same key.
+	r2, b2 := post(t, ts.URL+"/v1/synthesize", refineBody)
+	if h := r2.Header.Get("X-Loas-Cache"); h != "hit" {
+		t.Fatalf("repeat refined run X-Loas-Cache = %q, want hit", h)
+	}
+	if r2.Header.Get("X-Loas-Key") != refKey || !bytes.Equal(b1, b2) {
+		t.Fatal("refined cache hit is not a byte replay under the same key")
+	}
+
+	// The unrefined spelling of the same case is a distinct cache entry.
+	r3, b3 := post(t, ts.URL+"/v1/synthesize", `{"case":1}`)
+	if r3.StatusCode != http.StatusOK {
+		t.Fatalf("unrefined synthesize: status %d: %s", r3.StatusCode, b3)
+	}
+	if h := r3.Header.Get("X-Loas-Cache"); h != "miss" {
+		t.Fatalf("unrefined run X-Loas-Cache = %q, want miss (must not share the refined entry)", h)
+	}
+	if r3.Header.Get("X-Loas-Key") == refKey {
+		t.Fatal("unrefined request produced the refined cache key")
+	}
+	if bytes.Contains(b3, []byte(`"refine"`)) {
+		t.Fatalf("unrefined response leaks a refine report: %s", b3)
+	}
+
+	// Refinement without extracted verification is rejected up front.
+	rBad, bBad := post(t, ts.URL+"/v1/synthesize", `{"case":1,"refine":true,"skip_verify":true}`)
+	if rBad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("refine+skip_verify: status %d (%s), want 400", rBad.StatusCode, bBad)
+	}
+
+	// The ledger record of the cold refined run: iterations tagged with
+	// their outer round, one refine-round span per round, each with a
+	// corner-sweep child.
+	var rec obs.RunRecord
+	getJSON(t, ts.URL+"/v1/runs/run-000001", &rec)
+	rounds := map[int]int{}
+	for _, it := range rec.Iterations {
+		rounds[it.Round]++
+	}
+	if len(rounds) != 2 || rounds[1] == 0 || rounds[2] == 0 {
+		t.Fatalf("ledger iterations not tagged with rounds 1..2: %v", rounds)
+	}
+	byID := map[int]obs.SpanRecord{}
+	for _, sp := range rec.Spans {
+		byID[sp.ID] = sp
+	}
+	refineSpans, sweeps := 0, 0
+	for _, sp := range rec.Spans {
+		switch sp.Name {
+		case "refine-round":
+			refineSpans++
+		case "corner-sweep":
+			sweeps++
+			if byID[sp.Parent].Name != "refine-round" {
+				t.Fatalf("corner-sweep parented by %q", byID[sp.Parent].Name)
+			}
+		}
+	}
+	if refineSpans != 2 || sweeps != 2 {
+		t.Fatalf("span tree has %d refine-round / %d corner-sweep spans, want 2/2", refineSpans, sweeps)
+	}
+
+	// The SSE feed streamed the outer loop live: at least one iteration
+	// event per round of the cold run, then its run-end.
+	seenRounds := map[int]bool{}
+	for {
+		f := nextFrame(t, frames)
+		if f.event == "iteration" {
+			var it struct {
+				RunID string `json:"run_id"`
+				Round int    `json:"round"`
+			}
+			if err := json.Unmarshal([]byte(f.data), &it); err != nil {
+				t.Fatalf("iteration payload %q: %v", f.data, err)
+			}
+			if it.RunID == "run-000001" {
+				seenRounds[it.Round] = true
+			}
+			continue
+		}
+		if f.event == "run-end" {
+			var v struct {
+				ID string `json:"id"`
+			}
+			if err := json.Unmarshal([]byte(f.data), &v); err != nil {
+				t.Fatalf("run-end payload %q: %v", f.data, err)
+			}
+			if v.ID == "run-000001" {
+				break
+			}
+		}
+	}
+	stopSSE()
+	if !seenRounds[1] || !seenRounds[2] {
+		t.Fatalf("SSE iteration events missing rounds: %v", seenRounds)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"loas/internal/core"
 	"loas/internal/sizing"
 	"loas/internal/techno"
 )
@@ -46,38 +47,60 @@ func specFromFields(f [8]float64) sizing.OTASpec {
 // The fuzzer drives spec A directly, derives spec B by XORing `xorBits`
 // into the bit pattern of field `field%9` (9 selects "no perturbation"),
 // and compares key equality against field-wise float equivalence.
+//
+// The refine parameters get the same treatment: refined and unrefined
+// spellings of one case must never collide, a 1-ulp perturbation of
+// MarginStep must change the key, and the canonicalized spellings of
+// the defaults (absent, ±0) must all land on one cache entry.
 func FuzzCanonicalKey(f *testing.F) {
 	// Identity, 1-ulp, signed zero, and NaN seeds around the default spec.
 	d := specFields(sizing.Default65MHz())
-	seed := func(field uint8, xor uint64, caseN, maxCalls uint8, skip bool, topo uint8) {
-		f.Add(d[0], d[1], d[2], d[3], d[4], d[5], d[6], d[7], field, xor, caseN, maxCalls, skip, topo)
+	seed := func(field uint8, xor uint64, caseN, maxCalls uint8, skip bool, topo uint8,
+		refine bool, refRounds uint8, stepBits uint64) {
+		f.Add(d[0], d[1], d[2], d[3], d[4], d[5], d[6], d[7], field, xor, caseN, maxCalls, skip, topo,
+			refine, refRounds, stepBits)
 	}
-	seed(9, 0, 1, 0, false, 0)                            // identical specs
-	seed(0, 1, 1, 0, false, 0)                            // vdd off by one ulp
-	seed(3, 1<<63, 4, 3, true, 1)                         // cl sign flip, non-default topology
-	seed(6, math.Float64bits(math.NaN()), 2, 0, false, 2) // outl -> NaN-ish
+	seed(9, 0, 1, 0, false, 0, false, 0, 0)                            // identical specs, one-shot
+	seed(0, 1, 1, 0, false, 0, true, 0, 0)                             // vdd off by one ulp, refined with defaults
+	seed(3, 1<<63, 4, 3, true, 1, true, 3, math.Float64bits(1.0))      // cl sign flip, refined at step 1
+	seed(6, math.Float64bits(math.NaN()), 2, 0, false, 2, false, 7, 1) // outl -> NaN-ish, inert refine params
+	seed(9, 0, 4, 0, false, 0, true, 5, math.Float64bits(0.5))         // refined, custom rounds and step
 	z := d
 	z[6] = 0
-	f.Add(z[0], z[1], z[2], z[3], z[4], z[5], z[6], z[7], uint8(6), uint64(1)<<63, uint8(1), uint8(0), false, uint8(0)) // +0 vs -0
+	f.Add(z[0], z[1], z[2], z[3], z[4], z[5], z[6], z[7], uint8(6), uint64(1)<<63, uint8(1), uint8(0), false, uint8(0),
+		true, uint8(0), uint64(1)<<63) // +0 vs -0 spec field, -0 margin step
 
 	tech := techno.Default060()
 	names := sizing.Topologies()
 	f.Fuzz(func(t *testing.T, f0, f1, f2, f3, f4, f5, f6, f7 float64,
-		field uint8, xorBits uint64, caseN, maxCalls uint8, skip bool, topo uint8) {
+		field uint8, xorBits uint64, caseN, maxCalls uint8, skip bool, topo uint8,
+		refine bool, refRounds uint8, stepBits uint64) {
 		a := [8]float64{f0, f1, f2, f3, f4, f5, f6, f7}
 		b := a
 		if i := int(field % 9); i < 8 {
 			b[i] = math.Float64frombits(math.Float64bits(a[i]) ^ xorBits)
 		}
 
+		// Sanitize the refine inputs into normalize's accepted domain,
+		// keeping 0 ("use the default") reachable for both sub-params.
+		// ±0 and out-of-range bit patterns collapse to 0, which normalize
+		// must canonicalize onto the explicit defaults.
+		step := math.Float64frombits(stepBits)
+		if !(step > 0 && step <= 2) {
+			step = 0
+		}
+		rounds := int(refRounds % 17) // 0 (default) or 1..16
 		req := SynthesizeRequest{
-			Topology:       names[int(topo)%len(names)],
-			Case:           1 + int(caseN%4),
-			MaxLayoutCalls: int(maxCalls % 9),
-			SkipVerify:     skip,
+			Topology:         names[int(topo)%len(names)],
+			Case:             1 + int(caseN%4),
+			MaxLayoutCalls:   int(maxCalls % 9),
+			SkipVerify:       skip && !refine, // refine rejects skip_verify
+			Refine:           refine,
+			RefineMaxRounds:  rounds,
+			RefineMarginStep: step,
 		}
 		if err := req.normalize(); err != nil {
-			t.Fatalf("normalize rejected a registered topology: %v", err)
+			t.Fatalf("normalize rejected a valid request: %v", err)
 		}
 		keyA := req.cacheKey(tech, specFromFields(a))
 		keyB := req.cacheKey(tech, specFromFields(b))
@@ -96,21 +119,82 @@ func FuzzCanonicalKey(f *testing.F) {
 
 		// Request-field perturbations must always change the key.
 		otherTopo := names[(int(topo)+1)%len(names)]
-		for _, alt := range []SynthesizeRequest{
-			{Topology: req.Topology, Case: 1 + (req.Case % 4), MaxLayoutCalls: req.MaxLayoutCalls, SkipVerify: req.SkipVerify},
-			{Topology: req.Topology, Case: req.Case, MaxLayoutCalls: req.MaxLayoutCalls + 1, SkipVerify: req.SkipVerify},
-			{Topology: req.Topology, Case: req.Case, MaxLayoutCalls: req.MaxLayoutCalls, SkipVerify: !req.SkipVerify},
-			{Topology: otherTopo, Case: req.Case, MaxLayoutCalls: req.MaxLayoutCalls, SkipVerify: req.SkipVerify},
+		alts := []SynthesizeRequest{}
+		for _, mut := range []func(r *SynthesizeRequest){
+			func(r *SynthesizeRequest) { r.Case = 1 + (r.Case % 4) },
+			func(r *SynthesizeRequest) { r.MaxLayoutCalls++ },
+			func(r *SynthesizeRequest) { r.SkipVerify = !r.SkipVerify },
+			func(r *SynthesizeRequest) { r.Topology = otherTopo },
+			func(r *SynthesizeRequest) { // refined <-> one-shot, both normalized spellings
+				r.Refine = !r.Refine
+				if r.Refine {
+					r.SkipVerify = false
+					r.RefineMaxRounds = core.DefaultRefineMaxRounds
+					r.RefineMarginStep = core.DefaultRefineMarginStep
+				} else {
+					r.RefineMaxRounds = 0
+					r.RefineMarginStep = 0
+				}
+			},
 		} {
+			alt := req
+			mut(&alt)
+			alts = append(alts, alt)
+		}
+		if req.Refine {
+			// A 1-ulp nudge of MarginStep or a ±1 on the round budget is a
+			// different refinement and must key separately.
+			ulp := req
+			ulp.RefineMarginStep = math.Float64frombits(math.Float64bits(req.RefineMarginStep) ^ 1)
+			rnd := req
+			rnd.RefineMaxRounds = 1 + (req.RefineMaxRounds % 16)
+			alts = append(alts, ulp, rnd)
+		}
+		for _, alt := range alts {
 			if alt.cacheKey(tech, specFromFields(a)) == keyA {
 				t.Fatalf("request perturbation %+v did not change key (base %+v)", alt, req)
+			}
+		}
+
+		// The canonicalized spellings of the refine defaults — absent
+		// sub-params, explicit defaults, and a -0 margin step — must all
+		// land on req's cache entry when they describe the same request.
+		if req.Refine {
+			for _, spell := range []SynthesizeRequest{
+				{Topology: req.Topology, Case: req.Case, MaxLayoutCalls: req.MaxLayoutCalls,
+					Refine: true},
+				{Topology: req.Topology, Case: req.Case, MaxLayoutCalls: req.MaxLayoutCalls,
+					Refine: true, RefineMaxRounds: req.RefineMaxRounds, RefineMarginStep: math.Copysign(0, -1)},
+			} {
+				if err := spell.normalize(); err != nil {
+					t.Fatal(err)
+				}
+				wantEq := spell.RefineMaxRounds == req.RefineMaxRounds &&
+					spell.RefineMarginStep == req.RefineMarginStep &&
+					math.Signbit(spell.RefineMarginStep) == math.Signbit(req.RefineMarginStep)
+				if (spell.cacheKey(tech, specFromFields(a)) == keyA) != wantEq {
+					t.Fatalf("canonicalized refine spelling %+v key equality != %v (base %+v)", spell, wantEq, req)
+				}
+			}
+		} else {
+			// Sub-parameters are inert without refine=true: any values
+			// normalize to the one unrefined entry.
+			inert := SynthesizeRequest{Topology: req.Topology, Case: req.Case,
+				MaxLayoutCalls: req.MaxLayoutCalls, SkipVerify: req.SkipVerify,
+				RefineMaxRounds: 12, RefineMarginStep: 1.75}
+			if err := inert.normalize(); err != nil {
+				t.Fatal(err)
+			}
+			if inert.cacheKey(tech, specFromFields(a)) != keyA {
+				t.Fatal("inert refine sub-params leaked into the unrefined cache key")
 			}
 		}
 
 		// An absent topology must key identically to the explicit default
 		// (normalize canonicalizes it), so existing clients keep their
 		// warm cache entries.
-		absent := SynthesizeRequest{Case: req.Case, MaxLayoutCalls: req.MaxLayoutCalls, SkipVerify: req.SkipVerify}
+		absent := SynthesizeRequest{Case: req.Case, MaxLayoutCalls: req.MaxLayoutCalls, SkipVerify: req.SkipVerify,
+			Refine: req.Refine, RefineMaxRounds: req.RefineMaxRounds, RefineMarginStep: req.RefineMarginStep}
 		if err := absent.normalize(); err != nil {
 			t.Fatal(err)
 		}
