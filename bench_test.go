@@ -414,3 +414,82 @@ func BenchmarkServeSynthesizeHot(b *testing.B) {
 		b.Fatalf("hot path ran the backend %d times, want 1", runs)
 	}
 }
+
+// batchBody50 is the benchmark batch: 50 items cycling over 3 unique
+// specs (cases 1..3, skip_verify keeps each unique synthesis one-pass),
+// the same shape as the batch acceptance test.
+func batchBody50() string {
+	var sb strings.Builder
+	sb.WriteString(`{"items":[`)
+	for i := 0; i < 50; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		fmt.Fprintf(&sb, `{"case":%d,"skip_verify":true}`, 1+i%3)
+	}
+	sb.WriteString(`]}`)
+	return sb.String()
+}
+
+// benchBatchPost drives one POST /v1/batch through the handler
+// in-process.
+func benchBatchPost(b *testing.B, h http.Handler, body string) {
+	b.Helper()
+	req := httptest.NewRequest("POST", "/v1/batch", strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK || w.Body.Len() == 0 {
+		b.Fatalf("status %d, %d bytes: %s", w.Code, w.Body.Len(), w.Body.String())
+	}
+}
+
+// BenchmarkBatchSynthesize50Cold: a fresh daemon per iteration, so the
+// 50-item batch pays for exactly its 3 unique syntheses — the other 47
+// items ride the per-item cache and singleflight. The backend_runs
+// metric pins the dedup contract into the snapshot.
+func BenchmarkBatchSynthesize50Cold(b *testing.B) {
+	body := batchBody50()
+	var runs float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := serve.New(serve.Config{})
+		h := s.Handler()
+		b.StartTimer()
+		benchBatchPost(b, h, body)
+		b.StopTimer()
+		runs = float64(s.Stats().BackendRuns)
+		if runs != 3 {
+			b.Fatalf("cold batch ran the backend %.0f times, want 3", runs)
+		}
+		s.Close()
+		b.StartTimer()
+	}
+	b.StopTimer()
+	b.ReportMetric(50, "items")
+	b.ReportMetric(runs, "backend_runs")
+}
+
+// BenchmarkBatchSynthesize50Warm repeats the identical batch against
+// one daemon; after the warm-up every item is a cache hit, so the
+// sec/op ratio against the cold pair is the value of content-addressed
+// reuse on repeated spec-grid workloads.
+func BenchmarkBatchSynthesize50Warm(b *testing.B) {
+	s := serve.New(serve.Config{})
+	defer s.Close()
+	h := s.Handler()
+	body := batchBody50()
+	benchBatchPost(b, h, body) // warm the per-item cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchBatchPost(b, h, body)
+	}
+	b.StopTimer()
+	runs := float64(s.Stats().BackendRuns)
+	if runs != 3 {
+		b.Fatalf("warm batches ran the backend %.0f times, want 3", runs)
+	}
+	b.ReportMetric(50, "items")
+	b.ReportMetric(runs, "backend_runs")
+}

@@ -28,7 +28,11 @@ awk -v t="$total" -v f="$COVER_FLOOR" 'BEGIN {
 }'
 
 # Brief fuzz run of the canonical-key corpus under the race detector.
-go test -race -run '^$' -fuzz FuzzCanonicalKey -fuzztime 5s ./internal/serve
+go test -race -run '^$' -fuzz 'FuzzCanonicalKey$' -fuzztime 5s ./internal/serve
+
+# Fuzz the batch multiset key: item-order invariance, multiplicity
+# sensitivity, and per-item ulp sensitivity.
+go test -race -run '^$' -fuzz FuzzBatchCanonicalKey -fuzztime 5s ./internal/serve
 
 # Fuzz the run-ledger decoder: arbitrary bytes must never panic the
 # reader, and valid records must round-trip byte-identically.

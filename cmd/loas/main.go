@@ -18,6 +18,8 @@
 //	loas trace [-case N] [-json]   convergence trace with per-phase timings
 //	loas corners [-topology T] process-corner verification
 //	loas serve [flags]         run the loasd synthesis daemon (alias)
+//	loas batch [-f file | -n N] [-json]    fan many synthesize requests through the daemon
+//	loas explore [-gbw ...] [-mode M] [-json]  spec-grid sweep / guided search via the daemon
 //	loas runs [-addr URL]      list the daemon's recent runs
 //	loas show <run-id>         one run's span tree + convergence trace
 //	loas tail [-addr URL]      follow the daemon's live run events (SSE)
@@ -116,6 +118,10 @@ func run(cmd string, args []string, out io.Writer) error {
 		return runCorners(tech, args, out)
 	case "serve":
 		return serve.CLI(args, out)
+	case "batch":
+		return runBatch(args, out)
+	case "explore":
+		return runExplore(args, out)
 	case "runs":
 		return runRuns(args, out)
 	case "show":
@@ -129,7 +135,7 @@ func run(cmd string, args []string, out io.Writer) error {
 
 func usage() {
 	fmt.Fprintln(os.Stderr,
-		`usage: loas <fig2|fig3|table1|fig5|flow|netlist|synth|topologies|mc|techeval|twostage|converge|trace|corners|serve|runs|show|tail> [flags]`)
+		`usage: loas <fig2|fig3|table1|fig5|flow|netlist|synth|topologies|mc|techeval|twostage|converge|trace|corners|serve|batch|explore|runs|show|tail> [flags]`)
 }
 
 // topoSpec resolves a -topology flag value to its canonical plan name

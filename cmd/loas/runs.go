@@ -45,8 +45,9 @@ func runRuns(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("runs", flag.ExitOnError)
 	addr := fs.String("addr", "http://127.0.0.1:8086", "loasd base URL")
 	topology := fs.String("topology", "", "only runs of this topology")
-	kind := fs.String("kind", "", "only runs of this kind (synthesize|table1|mc|layout.svg)")
+	kind := fs.String("kind", "", "only runs of this kind (synthesize|table1|mc|layout.svg|batch|explore)")
 	outcome := fs.String("outcome", "", "only runs with this outcome (ok|cache-hit|dedup|error)")
+	parent := fs.String("parent", "", "only children of this batch/explore run ID")
 	converged := fs.String("converged", "", "only converged (true) or unconverged (false) runs")
 	minDur := fs.Duration("min-duration", 0, "only runs at least this long (e.g. 150ms)")
 	limit := fs.Int("limit", 20, "maximum rows")
@@ -56,7 +57,8 @@ func runRuns(args []string, out io.Writer) error {
 	}
 	q := url.Values{}
 	for k, v := range map[string]string{
-		"topology": *topology, "kind": *kind, "outcome": *outcome, "converged": *converged,
+		"topology": *topology, "kind": *kind, "outcome": *outcome,
+		"converged": *converged, "parent": *parent,
 	} {
 		if v != "" {
 			q.Set(k, v)
@@ -120,6 +122,9 @@ func runShow(args []string, out io.Writer) error {
 		time.Unix(0, rec.StartUnixNS).Format(time.RFC3339))
 	if rec.Error != "" {
 		fmt.Fprintf(out, "error: %s\n", rec.Error)
+	}
+	if rec.Parent != "" {
+		fmt.Fprintf(out, "parent: %s (loas runs -parent %s lists the siblings)\n", rec.Parent, rec.Parent)
 	}
 	if rec.CacheKey != "" {
 		fmt.Fprintf(out, "cache key: %s\n", rec.CacheKey)

@@ -1,0 +1,61 @@
+package explore
+
+// The guided planner is the result-history half of the subsystem: the
+// next probe wave is generated from the current Pareto front rather
+// than from a fixed grid. Each non-dominated point contributes four
+// deterministic neighbors — its spec with the GBW target pushed up and
+// down by the step fraction, and the PM target nudged harder and
+// softer — so the search walks outward along the front's trade-off
+// directions (faster/more power vs slower/less power; more stable/more
+// area vs less). No randomness anywhere: the wave is a pure function
+// of the front, so reruns and worker counts cannot change it.
+
+import "loas/internal/sizing"
+
+// Guided-search clamps: targets outside these bounds are not worth
+// probing (the sizing plans reject or degenerate there).
+const (
+	minGBWHz = 1e6
+	maxGBWHz = 1e9
+	minPMDeg = 40
+	maxPMDeg = 85
+)
+
+// Neighbors expands the front into the next probe wave: per front
+// point, GBW ×(1±step) and PM ±(20·step)°, clamped, deduplicated
+// against everything already probed, canonically sorted.
+func Neighbors(front []Point, step float64, probed map[string]bool) []sizing.OTASpec {
+	var out []sizing.OTASpec
+	seen := map[string]bool{}
+	for _, p := range front {
+		for _, cand := range neighborSpecs(p.Spec, step) {
+			k := SpecKey(p.Topology, cand)
+			if probed[k] || seen[k] {
+				continue
+			}
+			seen[k] = true
+			out = append(out, cand)
+		}
+	}
+	SortSpecs(out)
+	return out
+}
+
+func neighborSpecs(s sizing.OTASpec, step float64) []sizing.OTASpec {
+	var out []sizing.OTASpec
+	add := func(mut func(*sizing.OTASpec)) {
+		c := s
+		mut(&c)
+		if c.GBW < minGBWHz || c.GBW > maxGBWHz || c.PM < minPMDeg || c.PM > maxPMDeg {
+			return
+		}
+		if c != s {
+			out = append(out, c)
+		}
+	}
+	add(func(c *sizing.OTASpec) { c.GBW = s.GBW * (1 + step) })
+	add(func(c *sizing.OTASpec) { c.GBW = s.GBW * (1 - step) })
+	add(func(c *sizing.OTASpec) { c.PM = s.PM + 20*step })
+	add(func(c *sizing.OTASpec) { c.PM = s.PM - 20*step })
+	return out
+}

@@ -32,10 +32,14 @@ type RunRecord struct {
 	StartUnixNS int64 `json:"start_unix_ns"`
 	// Source tells who executed the run: "daemon" or "cli".
 	Source string `json:"source"`
-	// Kind is the request family: synthesize | table1 | mc | layout.svg.
+	// Kind is the request family: synthesize | table1 | mc | layout.svg |
+	// batch | explore.
 	Kind     string `json:"kind"`
 	Topology string `json:"topology,omitempty"`
 	Case     int    `json:"case,omitempty"`
+	// Parent links a child run (one batch item, one explore probe) back
+	// to the batch/explore run that spawned it. Empty for top-level runs.
+	Parent string `json:"parent,omitempty"`
 	// CacheKey is the content address of the result; SpecDigest hashes
 	// just (tech, spec) so runs of the same target correlate across
 	// request kinds.

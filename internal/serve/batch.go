@@ -1,0 +1,223 @@
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"loas/internal/parallel"
+	"loas/internal/sizing"
+)
+
+// POST /v1/batch fans many synthesize requests through the daemon's
+// existing machinery in one round trip. Every item takes the same
+// cache → singleflight → bounded queue path as POST /v1/synthesize and
+// is its own child run (kind=synthesize, Parent=<batch run ID>), so a
+// 50-item batch with k unique specs costs exactly k backend syntheses:
+// duplicates either replay from the cache or join the in-flight leader.
+// Item completions stream as batch-item frames on /v1/events; the final
+// response is one ordered BatchReport.
+//
+// The report itself is NOT cached — the per-item cache already carries
+// all the reuse, and the report embeds per-item outcomes (hit vs miss)
+// that legitimately differ between reruns. The X-Loas-Key header still
+// reports the canonical batch key (order-invariant over the item keys)
+// so clients can correlate reruns of the same workload.
+
+// BatchRequest is the body of POST /v1/batch.
+type BatchRequest struct {
+	Items []sizingItem `json:"items"`
+}
+
+// sizingItem aliases SynthesizeRequest so the batch body reads
+// {"items":[{...synthesize body...}, ...]}.
+type sizingItem = SynthesizeRequest
+
+// BatchItemResult is one submitted item's outcome, in submission order.
+type BatchItemResult struct {
+	Index    int    `json:"index"`
+	Topology string `json:"topology"`
+	Case     int    `json:"case"`
+	Key      string `json:"key"`    // content-addressed item key
+	RunID    string `json:"run_id"` // child run (GET /v1/runs/{id})
+	Outcome  string `json:"outcome"`
+	Cache    string `json:"cache"` // hit | miss | dedup
+	Error    string `json:"error,omitempty"`
+	// Summary is the item's core.Summary body, verbatim (absent on
+	// error) — byte-identical to what POST /v1/synthesize would return.
+	Summary json.RawMessage `json:"summary,omitempty"`
+}
+
+// BatchReport is the POST /v1/batch payload.
+type BatchReport struct {
+	Key     string            `json:"key"`    // canonical batch key
+	Items   int               `json:"items"`  // submitted
+	Unique  int               `json:"unique"` // distinct item keys
+	Errors  int               `json:"errors,omitempty"`
+	Results []BatchItemResult `json:"results"` // submission order
+}
+
+// batchItem is one normalized, spec-resolved item ready to execute.
+type batchItem struct {
+	req  SynthesizeRequest
+	spec sizing.OTASpec
+	key  string
+}
+
+// batchKey hashes the multiset of item keys, order-invariantly: the
+// keys are sorted before hashing, duplicates kept. Shuffling the items
+// of a batch cannot change its key; adding a second copy of an item
+// does (a different workload, even if it costs no extra synthesis).
+func batchKey(itemKeys []string) string {
+	sorted := append([]string(nil), itemKeys...)
+	sort.Strings(sorted)
+	var b strings.Builder
+	b.WriteString("loas/1|kind=batch")
+	for _, k := range sorted {
+		b.WriteString("|item=")
+		b.WriteString(k)
+	}
+	h := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(h[:])
+}
+
+// batchBodyLimit bounds one POST /v1/batch body: thousands of specs fit
+// well inside 8 MiB.
+const batchBodyLimit = 8 << 20
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := decodeJSONLimit(r, &req, batchBodyLimit); err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	if len(req.Items) == 0 {
+		s.badRequest(w, fmt.Errorf("batch requires at least one item"))
+		return
+	}
+	if len(req.Items) > s.batchMax {
+		s.badRequest(w, fmt.Errorf("batch of %d items exceeds the %d-item bound", len(req.Items), s.batchMax))
+		return
+	}
+	items := make([]batchItem, len(req.Items))
+	keys := make([]string, len(req.Items))
+	unique := map[string]bool{}
+	for i := range req.Items {
+		it := req.Items[i]
+		if err := it.normalize(); err != nil {
+			s.badRequest(w, fmt.Errorf("item %d: %w", i, err))
+			return
+		}
+		spec, err := s.specFor(it.Spec, it.Topology)
+		if err != nil {
+			s.badRequest(w, fmt.Errorf("item %d: %w", i, err))
+			return
+		}
+		key := it.cacheKey(s.tech, spec)
+		items[i] = batchItem{req: it, spec: spec, key: key}
+		keys[i] = key
+		unique[key] = true
+	}
+
+	start := time.Now()
+	s.requests.Add(1)
+	evRequests.Add(1)
+	s.batchRequests.Inc()
+	s.batchItems.Add(int64(len(items)))
+	s.batchSize.Observe(float64(len(items)))
+	info := runInfo{kind: "batch", key: batchKey(keys)}
+	ar := s.beginRun(info, start)
+	ar.root.SetAttr("items", fmt.Sprintf("%d", len(items)))
+	ar.root.SetAttr("unique", fmt.Sprintf("%d", len(unique)))
+	s.events.publish("batch-start", batchStartEvent{
+		ID: ar.id, Kind: "batch", Items: len(items), Unique: len(unique),
+	})
+
+	// Fan out on at most as many goroutines as the pool has workers: the
+	// batch alone can then never overflow the bounded queue, and other
+	// traffic keeps the queue slots as its admission headroom. Items run
+	// under the daemon's lifetime (each leader already detaches from the
+	// client context), so a disconnecting client wastes nothing — every
+	// completed item is in the content-addressed cache.
+	fan := ar.root.Child("batch-fanout")
+	results, _ := parallel.MapN(context.Background(), s.pool.Stats().Workers, len(items),
+		func(_ context.Context, i int) (BatchItemResult, error) {
+			return s.runBatchItem(ar.id, i, items[i]), nil
+		})
+	fan.End()
+
+	errs := 0
+	for i := range results {
+		if results[i].Error != "" {
+			errs++
+		}
+	}
+	outcome := outcomeOK
+	var runErr error
+	if errs > 0 {
+		outcome = outcomeError
+		runErr = fmt.Errorf("%d of %d items failed", errs, len(items))
+	}
+	rep := BatchReport{
+		Key: info.key, Items: len(items), Unique: len(unique),
+		Errors: errs, Results: results,
+	}
+	body, err := marshalJSON(rep)
+	if err != nil {
+		s.finishRun(ar, outcomeError, err, 0)
+		s.fail(w, err)
+		return
+	}
+	s.finishRun(ar, outcome, runErr, len(body))
+	s.events.publish("batch-end", batchEndEvent{
+		ID: ar.id, Outcome: outcome, Items: len(items), Errors: errs,
+		DurationNS: time.Since(start).Nanoseconds(),
+	})
+	s.write(w, Value{Body: body, ContentType: "application/json"}, info.key, "none", start)
+}
+
+// runBatchItem executes one item as a child run through the shared
+// cache → singleflight → queue path and narrates it on /v1/events.
+// Item failures are report data, not batch failures.
+func (s *Server) runBatchItem(parentID string, i int, it batchItem) BatchItemResult {
+	info := runInfo{
+		kind: "synthesize", topology: it.req.Topology, caseN: it.req.Case,
+		key: it.key, specDigest: specDigest(s.tech, it.spec), parent: parentID,
+	}
+	child := s.beginRun(info, time.Now())
+	req := it.req
+	v, outcome, err := s.executeKeyed(child, "application/json",
+		func(ctx context.Context) ([]byte, error) {
+			body, iters, err := s.backend.Synthesize(ctx, it.spec, &req)
+			if err == nil {
+				s.traces.put(it.key, iters)
+			}
+			return body, err
+		})
+	res := BatchItemResult{
+		Index: i, Topology: it.req.Topology, Case: it.req.Case,
+		Key: it.key, RunID: child.id,
+	}
+	if err != nil {
+		s.batchItemErrors.Inc()
+		s.finishRun(child, outcomeError, err, 0)
+		res.Outcome = outcomeError
+		res.Error = err.Error()
+	} else {
+		s.finishRun(child, outcome, nil, len(v.Body))
+		res.Outcome = outcome
+		res.Cache = cacheSource(outcome)
+		res.Summary = json.RawMessage(v.Body)
+	}
+	s.events.publish("batch-item", batchItemEvent{
+		Parent: parentID, Index: i, Outcome: res.Outcome, Cache: res.Cache,
+		Topology: res.Topology, Case: res.Case, Error: res.Error,
+	})
+	return res
+}

@@ -29,6 +29,7 @@ func CLI(args []string, out io.Writer) error {
 	workers := fs.Int("workers", 0, "synthesis workers (0 = all CPUs)")
 	queue := fs.Int("queue", 64, "queued jobs beyond the workers before shedding load")
 	timeout := fs.Duration("timeout", 5*time.Minute, "per-request synthesis timeout")
+	batchMax := fs.Int("batch-max", 4096, "maximum items in one POST /v1/batch request")
 	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	ledgerPath := fs.String("ledger", "", "append every completed run to this JSONL ledger (off by default); replayed into /v1/runs on start")
 	ledgerMB := fs.Int64("ledger-mb", 8, "ledger size (MiB) that triggers rotation to <path>.1")
@@ -49,13 +50,14 @@ func CLI(args []string, out io.Writer) error {
 		defer ledger.Close()
 	}
 	srv := New(Config{
-		CacheBytes:  cacheBytes,
-		TTL:         *ttl,
-		Workers:     *workers,
-		QueueDepth:  *queue,
-		Timeout:     *timeout,
-		EnablePprof: *pprofOn,
-		Ledger:      ledger,
+		CacheBytes:    cacheBytes,
+		TTL:           *ttl,
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		Timeout:       *timeout,
+		BatchMaxItems: *batchMax,
+		EnablePprof:   *pprofOn,
+		Ledger:        ledger,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

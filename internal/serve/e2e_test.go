@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -317,6 +319,143 @@ func TestEndToEndLedgerDaemon(t *testing.T) {
 	getJSON(t, ts2.URL+"/v1/runs", &rep2)
 	if rep2.Total != 4 || rep2.Runs[0].ID != "run-000004" {
 		t.Fatalf("sequence did not continue after restart: %+v", rep2.Runs)
+	}
+}
+
+// TestEndToEndBatchDedup is the batch acceptance path on the real
+// engine: a 50-item batch with 3 unique specs costs exactly 3 real
+// syntheses, streams one batch-item frame per item, and links every
+// child run to the batch parent.
+func TestEndToEndBatchDedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end batch test runs real synthesis")
+	}
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() { ts.Close(); srv.Close() }()
+
+	frames, stopSSE := sseClient(t, ts.URL)
+	defer stopSSE()
+
+	// 50 items over 3 unique specs (skip_verify keeps each synthesis
+	// one-pass; dedup is what's under test here).
+	const n, k = 50, 3
+	var b strings.Builder
+	b.WriteString(`{"items":[`)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, `{"case":%d,"skip_verify":true}`, 1+i%k)
+	}
+	b.WriteString(`]}`)
+
+	resp, data := post(t, ts.URL+"/v1/batch", b.String())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d: %s", resp.StatusCode, data)
+	}
+	var rep BatchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Items != n || rep.Unique != k || rep.Errors != 0 {
+		t.Fatalf("report = %d items, %d unique, %d errors; want %d/%d/0",
+			rep.Items, rep.Unique, rep.Errors, n, k)
+	}
+	if st := srv.Stats(); st.BackendRuns != k {
+		t.Fatalf("real backend ran %d times for %d unique specs, want exactly %d",
+			st.BackendRuns, k, k)
+	}
+	for i, r := range rep.Results {
+		if r.Index != i || len(r.Summary) == 0 {
+			t.Fatalf("result %d = %+v", i, r)
+		}
+		var sum struct {
+			LayoutCalls int `json:"layout_calls"`
+		}
+		if err := json.Unmarshal(r.Summary, &sum); err != nil || sum.LayoutCalls < 1 {
+			t.Fatalf("result %d summary not a synthesis summary: %v %s", i, err, r.Summary)
+		}
+	}
+
+	// The SSE feed narrated every item under the batch parent.
+	itemFrames := 0
+	for {
+		f := nextFrame(t, frames)
+		if f.event == "batch-item" {
+			itemFrames++
+		}
+		if f.event == "batch-end" {
+			break
+		}
+	}
+	if itemFrames != n {
+		t.Fatalf("saw %d batch-item frames, want %d", itemFrames, n)
+	}
+
+	var parents, kids RunsReport
+	getJSON(t, ts.URL+"/v1/runs?kind=batch", &parents)
+	if len(parents.Runs) != 1 {
+		t.Fatalf("batch runs = %+v", parents.Runs)
+	}
+	getJSON(t, ts.URL+"/v1/runs?parent="+parents.Runs[0].ID+"&limit=100", &kids)
+	if len(kids.Runs) != n {
+		t.Fatalf("children = %d, want %d", len(kids.Runs), n)
+	}
+}
+
+// TestEndToEndExploreGolden pins the exploration report of the real
+// engine to a golden file: the report must be byte-identical on every
+// rerun and at every worker count — the determinism half of the
+// acceptance criteria. Refresh with LOAS_UPDATE_GOLDEN=1.
+func TestEndToEndExploreGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end explore test runs real synthesis")
+	}
+	const body = `{"axes":{"gbw":[4e7,6.5e7]},"case":1}`
+	golden := filepath.Join("testdata", "explore_golden.json")
+
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() { ts.Close(); srv.Close() }()
+	resp, got := post(t, ts.URL+"/v1/explore", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("explore status %d: %s", resp.StatusCode, got)
+	}
+
+	if os.Getenv("LOAS_UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", golden, len(got))
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (rerun with LOAS_UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("explore report drifted from %s:\ngot:  %s\nwant: %s", golden, got, want)
+	}
+
+	// The same exploration on a single-worker daemon reproduces the
+	// golden bytes exactly.
+	srv1 := New(Config{Workers: 1})
+	ts1 := httptest.NewServer(srv1.Handler())
+	defer func() { ts1.Close(); srv1.Close() }()
+	_, got1 := post(t, ts1.URL+"/v1/explore", body)
+	if !bytes.Equal(got1, want) {
+		t.Fatalf("1-worker report differs from golden:\ngot:  %s\nwant: %s", got1, want)
+	}
+
+	// Sanity on the pinned content: two feasible probes of the default
+	// topology and a non-empty front.
+	var rep ExploreReport
+	if err := json.Unmarshal(want, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 1 || rep.Results[0].Probes != 2 ||
+		rep.Results[0].Infeasible != 0 || len(rep.Results[0].Front) == 0 {
+		t.Fatalf("golden content unexpected: %+v", rep.Results)
 	}
 }
 

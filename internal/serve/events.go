@@ -28,9 +28,16 @@ func marshalCompact(v any) ([]byte, error) {
 // the feed behind `loas tail` and operator dashboards. Three event
 // types, each with a JSON data payload:
 //
-//	event: run-start   {id, kind, topology, case, cache_key}
+//	event: run-start   {id, kind, topology, case, cache_key, parent}
 //	event: iteration   {run_id, ...obs.Iteration}
 //	event: run-end     {id, outcome, duration_ns, converged, layout_calls, error}
+//
+// Batch and exploration requests add three more, so a client can follow
+// a fan-out without polling /v1/runs:
+//
+//	event: batch-start {id, kind, items|probes, unique}
+//	event: batch-item  {parent, index, outcome, cache, topology, case, error}
+//	event: batch-end   {id, outcome, items, errors, duration_ns}
 //
 // Delivery is best-effort with hard memory bounds: every subscriber
 // owns a fixed buffer, and a subscriber that cannot drain it (a slow or
@@ -44,6 +51,37 @@ type runStartEvent struct {
 	Topology string `json:"topology,omitempty"`
 	Case     int    `json:"case,omitempty"`
 	CacheKey string `json:"cache_key,omitempty"`
+	Parent   string `json:"parent,omitempty"`
+}
+
+// batchStartEvent is the data payload of event: batch-start — the
+// fan-out announcement for a batch or exploration run.
+type batchStartEvent struct {
+	ID     string `json:"id"`
+	Kind   string `json:"kind"`            // batch | explore
+	Items  int    `json:"items,omitempty"` // submitted batch items
+	Unique int    `json:"unique,omitempty"`
+}
+
+// batchItemEvent is the data payload of event: batch-item — one batch
+// item (or exploration probe) finishing, in completion order.
+type batchItemEvent struct {
+	Parent   string `json:"parent"`
+	Index    int    `json:"index"`
+	Outcome  string `json:"outcome"`
+	Cache    string `json:"cache,omitempty"` // hit | miss | dedup
+	Topology string `json:"topology,omitempty"`
+	Case     int    `json:"case,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+// batchEndEvent is the data payload of event: batch-end.
+type batchEndEvent struct {
+	ID         string `json:"id"`
+	Outcome    string `json:"outcome"`
+	Items      int    `json:"items"`
+	Errors     int    `json:"errors,omitempty"`
+	DurationNS int64  `json:"duration_ns"`
 }
 
 // iterationEvent is the data payload of event: iteration — one live

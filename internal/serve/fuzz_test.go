@@ -33,6 +33,70 @@ func specFromFields(f [8]float64) sizing.OTASpec {
 	}
 }
 
+// FuzzBatchCanonicalKey checks the batch-key contract on real item
+// keys: the key is a multiset hash — invariant under any reordering of
+// the items, sensitive to multiplicity (adding a duplicate changes the
+// workload identity even though it costs no synthesis), and sensitive
+// to any change that moves a single item's content address (a case
+// flip, or a 1-ulp perturbation of one spec field).
+func FuzzBatchCanonicalKey(f *testing.F) {
+	f.Add(uint8(1), uint8(2), uint8(3), uint8(1), uint64(0))
+	f.Add(uint8(1), uint8(1), uint8(1), uint8(2), uint64(1))
+	f.Add(uint8(4), uint8(2), uint8(0), uint8(5), uint64(1)<<63)
+	f.Add(uint8(0), uint8(3), uint8(2), uint8(0), uint64(0))
+
+	tech := techno.Default060()
+	spec := sizing.Default65MHz()
+	f.Fuzz(func(t *testing.T, c1, c2, c3, rot uint8, xorBits uint64) {
+		itemKey := func(c uint8, s sizing.OTASpec) string {
+			r := SynthesizeRequest{Case: 1 + int(c%4)}
+			if err := r.normalize(); err != nil {
+				t.Fatal(err)
+			}
+			return r.cacheKey(tech, s)
+		}
+		keys := []string{itemKey(c1, spec), itemKey(c2, spec), itemKey(c3, spec)}
+		base := batchKey(keys)
+
+		// Order invariance: every rotation and the reversal spell the
+		// same workload.
+		n := len(keys)
+		r := int(rot) % n
+		rotated := append(append([]string{}, keys[r:]...), keys[:r]...)
+		reversed := []string{keys[2], keys[1], keys[0]}
+		for _, alt := range [][]string{rotated, reversed} {
+			if batchKey(alt) != base {
+				t.Fatalf("reordering %v changed the batch key (base order %v)", alt, keys)
+			}
+		}
+
+		// Multiplicity: one more copy of an existing item is a different
+		// workload; dropping one is too.
+		if batchKey(append(append([]string{}, keys...), keys[0])) == base {
+			t.Fatal("duplicating an item kept the batch key")
+		}
+		if batchKey(keys[:2]) == base {
+			t.Fatal("dropping an item kept the batch key")
+		}
+
+		// Item sensitivity: perturbing one item's spec by the fuzzed bit
+		// pattern moves the batch key exactly when it moves the item key.
+		spec2 := spec
+		spec2.GBW = math.Float64frombits(math.Float64bits(spec.GBW) ^ xorBits)
+		perturbed := []string{keys[0], keys[1], itemKey(c3, spec2)}
+		wantEqual := floatEquiv(spec.GBW, spec2.GBW)
+		if (batchKey(perturbed) == base) != wantEqual {
+			t.Fatalf("item-key perturbation equality = %v, want %v (xor %#x)",
+				batchKey(perturbed) == base, wantEqual, xorBits)
+		}
+
+		// A batch never collides with its own single item's key namespace.
+		if batchKey(keys[:1]) == keys[0] {
+			t.Fatal("single-item batch key collided with the item key itself")
+		}
+	})
+}
+
 // FuzzCanonicalKey checks the two directions of the content-addressed
 // key contract on SynthesizeRequest.cacheKey (after normalize, which is
 // how the server always keys — an absent topology is canonicalized to

@@ -19,6 +19,12 @@ var queueWaitBuckets = []float64{
 	0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30,
 }
 
+// batchSizeBuckets span one item up to the BatchMaxItems default.
+var batchSizeBuckets = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500}
+
+// frontSizeBuckets span a single-point front up to a budget-sized one.
+var frontSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128}
+
 // initMetrics builds the per-server registry. Counters the server
 // already tracks atomically (requests, cache hits, queue depth) are
 // exposed as gauges sampled at scrape time — one source of truth, two
@@ -31,6 +37,21 @@ func (s *Server) initMetrics() {
 	s.queueWait = r.Histogram("loas_queue_wait_seconds",
 		"time a request's job waited behind the bounded queue before a worker picked it up",
 		queueWaitBuckets)
+
+	s.batchRequests = r.Counter("loas_batch_requests_total",
+		"POST /v1/batch requests accepted")
+	s.batchItems = r.Counter("loas_batch_items_total",
+		"synthesize items submitted across all batches")
+	s.batchItemErrors = r.Counter("loas_batch_item_errors_total",
+		"batch items that ended in error")
+	s.batchSize = r.Histogram("loas_batch_size_items",
+		"items per accepted batch request", batchSizeBuckets)
+	s.exploreRequests = r.Counter("loas_explore_requests_total",
+		"POST /v1/explore requests accepted")
+	s.exploreProbes = r.Counter("loas_explore_probe_runs_total",
+		"exploration probes completed by this server (including cache hits and dedup joins)")
+	s.exploreFront = r.Histogram("loas_explore_front_size",
+		"Pareto-front points per explored topology", frontSizeBuckets)
 
 	r.GaugeFunc("loas_requests", "requests received",
 		func() float64 { return float64(s.requests.Load()) })
@@ -56,6 +77,15 @@ func (s *Server) initMetrics() {
 		func() float64 { return float64(s.pool.Stats().MaxDepth) })
 	r.GaugeFunc("loas_queue_rejected", "jobs shed because the queue was full",
 		func() float64 { return float64(s.pool.Stats().Rejected) })
+	r.GaugeFunc("loas_queue_saturation",
+		"queue depth as a fraction of total admission capacity (workers + queue slots); 1.0 sheds load",
+		func() float64 {
+			st := s.pool.Stats()
+			if cap := st.Workers + st.Capacity; cap > 0 {
+				return float64(st.Depth) / float64(cap)
+			}
+			return 0
+		})
 
 	r.GaugeFunc("loas_traces_stored", "convergence traces retained for /v1/trace",
 		func() float64 { return float64(s.traces.len()) })

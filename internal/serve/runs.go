@@ -27,11 +27,12 @@ const (
 
 // runInfo is what a handler knows about a request before it runs.
 type runInfo struct {
-	kind       string // synthesize | table1 | mc | layout.svg
+	kind       string // synthesize | table1 | mc | layout.svg | batch | explore
 	topology   string
 	caseN      int
 	key        string // content-addressed cache key
 	specDigest string
+	parent     string // batch/explore run ID this run is a child of
 }
 
 // activeRun is a run in flight: its recorder, root span and live trace.
@@ -70,7 +71,7 @@ func (s *Server) beginRun(info runInfo, start time.Time) *activeRun {
 	})
 	s.events.publish("run-start", runStartEvent{
 		ID: ar.id, Kind: info.kind, Topology: info.topology,
-		Case: info.caseN, CacheKey: info.key,
+		Case: info.caseN, CacheKey: info.key, Parent: info.parent,
 	})
 	return ar
 }
@@ -88,6 +89,7 @@ func (s *Server) finishRun(ar *activeRun, outcome string, err error, bodyBytes i
 		Kind:        ar.info.kind,
 		Topology:    ar.info.topology,
 		Case:        ar.info.caseN,
+		Parent:      ar.info.parent,
 		CacheKey:    ar.info.key,
 		SpecDigest:  ar.info.specDigest,
 		Outcome:     outcome,
@@ -158,6 +160,7 @@ type runFilter struct {
 	topology  string
 	kind      string
 	outcome   string
+	parent    string
 	converged *bool
 	minDur    time.Duration
 	limit     int
@@ -184,6 +187,9 @@ func (rs *runStore) list(f runFilter) []*obs.RunRecord {
 		if f.outcome != "" && r.Outcome != f.outcome {
 			continue
 		}
+		if f.parent != "" && r.Parent != f.parent {
+			continue
+		}
 		if f.converged != nil && r.Converged != *f.converged {
 			continue
 		}
@@ -208,6 +214,7 @@ type RunSummary struct {
 	Kind        string `json:"kind"`
 	Topology    string `json:"topology,omitempty"`
 	Case        int    `json:"case,omitempty"`
+	Parent      string `json:"parent,omitempty"`
 	Outcome     string `json:"outcome"`
 	Error       string `json:"error,omitempty"`
 	DurationNS  int64  `json:"duration_ns"`
@@ -220,7 +227,7 @@ type RunSummary struct {
 func summarize(r *obs.RunRecord) RunSummary {
 	return RunSummary{
 		ID: r.ID, Seq: r.Seq, StartUnixNS: r.StartUnixNS, Source: r.Source,
-		Kind: r.Kind, Topology: r.Topology, Case: r.Case, Outcome: r.Outcome,
+		Kind: r.Kind, Topology: r.Topology, Case: r.Case, Parent: r.Parent, Outcome: r.Outcome,
 		Error: r.Error, DurationNS: r.DurationNS, Converged: r.Converged,
 		LayoutCalls: r.LayoutCalls, Spans: len(r.Spans), Iterations: len(r.Iterations),
 	}
@@ -232,9 +239,11 @@ type RunsReport struct {
 	Runs  []RunSummary `json:"runs"`  // newest first, after filters
 }
 
-// handleRuns lists recent runs. Query parameters: topology, kind,
-// outcome, converged (true|false), min_duration (Go duration, e.g.
-// 150ms), limit (default 50).
+// handleRuns lists recent runs. Query parameters: topology, kind
+// (synthesize|table1|mc|layout.svg|batch|explore), outcome, parent
+// (batch/explore run ID whose children to list), converged
+// (true|false), min_duration (Go duration, e.g. 150ms), limit
+// (default 50).
 func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	evRequests.Add(1)
@@ -243,6 +252,7 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 		topology: q.Get("topology"),
 		kind:     q.Get("kind"),
 		outcome:  q.Get("outcome"),
+		parent:   q.Get("parent"),
 		limit:    50,
 	}
 	if v := q.Get("converged"); v != "" {

@@ -11,6 +11,8 @@
 //	POST /v1/synthesize   one Table-1 case            → core.Summary JSON
 //	POST /v1/table1       all four cases              → repro.Table1Report JSON
 //	POST /v1/mc           mismatch Monte-Carlo        → MCReport JSON
+//	POST /v1/batch        many specs, one request     → BatchReport JSON
+//	POST /v1/explore      spec-grid / guided search   → ExploreReport JSON
 //	GET  /v1/topologies   registered design plans     → TopologiesReport JSON
 //	GET  /v1/layout.svg   case-4 generate-mode layout → SVG
 //	GET  /v1/trace/{key}  convergence trace of a synthesis → TraceReport JSON
@@ -70,6 +72,8 @@ type Config struct {
 	Backend    Backend         // default StdBackend over Tech
 	// MaxTraces bounds the convergence-trace store (default 256).
 	MaxTraces int
+	// BatchMaxItems bounds one POST /v1/batch request (default 4096).
+	BatchMaxItems int
 	// MaxRuns bounds the in-memory run store behind /v1/runs (default 1024).
 	MaxRuns int
 	// Ledger, when non-nil, receives one obs.RunRecord per completed run
@@ -84,11 +88,12 @@ type Config struct {
 // Server is the HTTP synthesis service. Create with New, expose
 // Handler() behind an http.Server, and Close() to drain.
 type Server struct {
-	tech    *techno.Tech
-	spec    sizing.OTASpec
-	specSet bool // Config.Spec was explicit — wins over topology defaults
-	timeout time.Duration
-	backend Backend
+	tech     *techno.Tech
+	spec     sizing.OTASpec
+	specSet  bool // Config.Spec was explicit — wins over topology defaults
+	timeout  time.Duration
+	backend  Backend
+	batchMax int
 
 	cache  *Cache
 	flight *Flight
@@ -102,6 +107,14 @@ type Server struct {
 	reg       *obs.Registry
 	latency   *obs.Histogram
 	queueWait *obs.Histogram
+
+	batchRequests   *obs.Counter
+	batchItems      *obs.Counter
+	batchItemErrors *obs.Counter
+	batchSize       *obs.Histogram
+	exploreRequests *obs.Counter
+	exploreProbes   *obs.Counter
+	exploreFront    *obs.Histogram
 
 	requests    atomic.Int64
 	errs        atomic.Int64
@@ -133,20 +146,24 @@ func New(cfg Config) *Server {
 	if cfg.Backend == nil {
 		cfg.Backend = &StdBackend{Tech: cfg.Tech}
 	}
+	if cfg.BatchMaxItems <= 0 {
+		cfg.BatchMaxItems = 4096
+	}
 	s := &Server{
-		tech:    cfg.Tech,
-		spec:    spec,
-		specSet: cfg.Spec != nil,
-		timeout: cfg.Timeout,
-		backend: cfg.Backend,
-		cache:   NewCache(cfg.CacheBytes, cfg.TTL),
-		flight:  NewFlight(),
-		pool:    parallel.NewPool(cfg.Workers, cfg.QueueDepth),
-		mux:     http.NewServeMux(),
-		traces:  newTraceStore(cfg.MaxTraces),
-		runs:    newRunStore(cfg.MaxRuns),
-		events:  newEventBus(),
-		ledger:  cfg.Ledger,
+		tech:     cfg.Tech,
+		spec:     spec,
+		specSet:  cfg.Spec != nil,
+		timeout:  cfg.Timeout,
+		backend:  cfg.Backend,
+		batchMax: cfg.BatchMaxItems,
+		cache:    NewCache(cfg.CacheBytes, cfg.TTL),
+		flight:   NewFlight(),
+		pool:     parallel.NewPool(cfg.Workers, cfg.QueueDepth),
+		mux:      http.NewServeMux(),
+		traces:   newTraceStore(cfg.MaxTraces),
+		runs:     newRunStore(cfg.MaxRuns),
+		events:   newEventBus(),
+		ledger:   cfg.Ledger,
 	}
 	// A restarted daemon resumes where the ledger left off: the replayed
 	// tail seeds /v1/runs and run numbering continues past LastSeq.
@@ -159,6 +176,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/synthesize", s.handleSynthesize)
 	s.mux.HandleFunc("POST /v1/table1", s.handleTable1)
 	s.mux.HandleFunc("POST /v1/mc", s.handleMC)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/explore", s.handleExplore)
 	s.mux.HandleFunc("GET /v1/topologies", s.handleTopologies)
 	s.mux.HandleFunc("GET /v1/layout.svg", s.handleLayoutSVG)
 	s.mux.HandleFunc("GET /v1/trace/{key}", s.handleTraceKey)
@@ -372,14 +391,42 @@ func (s *Server) respond(w http.ResponseWriter, info runInfo, contentType string
 	evRequests.Add(1)
 	ar := s.beginRun(info, start)
 
+	v, outcome, err := s.executeKeyed(ar, contentType, compute)
+	if err != nil {
+		s.finishRun(ar, outcomeError, err, 0)
+		s.fail(w, err)
+		return
+	}
+	s.finishRun(ar, outcome, nil, len(v.Body))
+	s.write(w, v, info.key, cacheSource(outcome), start)
+}
+
+// cacheSource maps a run outcome to its X-Loas-Cache header value.
+func cacheSource(outcome string) string {
+	switch outcome {
+	case outcomeCacheHit:
+		return "hit"
+	case outcomeDedup:
+		return "dedup"
+	}
+	return "miss"
+}
+
+// executeKeyed runs one content-addressed unit of work through the
+// cache → singleflight → bounded queue → backend → cache path and
+// reports how it was satisfied (outcomeCacheHit / outcomeOK /
+// outcomeDedup). It is the shared engine behind every result endpoint
+// and every batch item / exploration probe; ar carries the unit's own
+// run (span tree, live trace, content key).
+func (s *Server) executeKeyed(ar *activeRun, contentType string,
+	compute func(context.Context) ([]byte, error)) (Value, string, error) {
+	info := ar.info
 	lookup := ar.root.Child("cache-lookup")
 	v, ok := s.cache.Get(info.key)
 	lookup.End()
 	if ok {
 		evCacheHits.Add(1)
-		s.finishRun(ar, outcomeCacheHit, nil, len(v.Body))
-		s.write(w, v, info.key, "hit", start)
-		return
+		return v, outcomeCacheHit, nil
 	}
 	evCacheMisses.Add(1)
 
@@ -425,16 +472,13 @@ func (s *Server) respond(w http.ResponseWriter, info runInfo, contentType string
 		evDedupJoined.Add(1)
 	}
 	if err != nil {
-		s.finishRun(ar, outcomeError, err, 0)
-		s.fail(w, err)
-		return
+		return Value{}, outcomeError, err
 	}
-	src, outcome := "miss", outcomeOK
+	outcome := outcomeOK
 	if shared {
-		src, outcome = "dedup", outcomeDedup
+		outcome = outcomeDedup
 	}
-	s.finishRun(ar, outcome, nil, len(v.Body))
-	s.write(w, v, info.key, src, start)
+	return v, outcome, nil
 }
 
 func (s *Server) write(w http.ResponseWriter, v Value, key, src string, start time.Time) {
@@ -504,7 +548,14 @@ func (s *Server) specFor(o *sizing.OTASpec, topology string) (sizing.OTASpec, er
 // a typo must not silently become a different cache key); an empty body
 // selects the defaults.
 func decodeJSON(r *http.Request, dst any) error {
-	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	return decodeJSONLimit(r, dst, 1<<20)
+}
+
+// decodeJSONLimit is decodeJSON with an explicit body bound — the batch
+// endpoint accepts thousands of specs and needs more than the single-
+// request megabyte.
+func decodeJSONLimit(r *http.Request, dst any, limit int64) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, limit))
 	dec.DisallowUnknownFields()
 	err := dec.Decode(dst)
 	if err == nil || errors.Is(err, io.EOF) {
