@@ -31,7 +31,9 @@ import (
 
 	"loas/internal/circuit"
 	"loas/internal/core"
+	"loas/internal/device"
 	"loas/internal/layout/cairo"
+	"loas/internal/layout/slicing"
 	"loas/internal/mc"
 	"loas/internal/repro"
 	"loas/internal/scfilter"
@@ -493,3 +495,219 @@ func BenchmarkBatchSynthesize50Warm(b *testing.B) {
 	b.ReportMetric(50, "items")
 	b.ReportMetric(runs, "backend_runs")
 }
+
+// --- Cold-path caching stage benchmarks ---
+//
+// One benchmark per cache layer, in cold/warm pairs where a cache is
+// involved; the pair ratio is the layer's contribution to the cold-path
+// speedup recorded in BENCH_8.json. Results are bit-identical either
+// way (see internal/core/differential_test.go).
+
+// BenchmarkModelCardEval: one full device-model evaluation — the drain
+// current plus six extra core solves for the numerical conductances.
+func BenchmarkModelCardEval(b *testing.B) {
+	tech := techno.Default060()
+	m := device.MOS{Card: &tech.N, W: 50e-6, L: 1e-6}
+	var op device.OP
+	for i := 0; i < b.N; i++ {
+		op = m.Eval(1.2, 1.5, 0, 0, tech.Temp)
+	}
+	b.ReportMetric(op.ID*1e3, "id_mA")
+}
+
+// BenchmarkModelCardEvalID: the ID-only evaluation the DC solver's
+// Jacobian builder uses (1 core solve instead of 7).
+func BenchmarkModelCardEvalID(b *testing.B) {
+	tech := techno.Default060()
+	m := device.MOS{Card: &tech.N, W: 50e-6, L: 1e-6}
+	var id float64
+	for i := 0; i < b.N; i++ {
+		id = m.EvalID(1.2, 1.5, 0, 0, tech.Temp)
+	}
+	b.ReportMetric(id*1e3, "id_mA")
+}
+
+// BenchmarkSizeBisectionCold: one 80-iteration width bisection on the
+// exact model — the unit of work the evaluation memo short-circuits.
+func BenchmarkSizeBisectionCold(b *testing.B) {
+	tech := techno.Default060()
+	var w float64
+	var err error
+	for i := 0; i < b.N; i++ {
+		w, err = device.SizeForCurrent(&tech.N, 1e-6, 0.2, 0, 1e-4, tech.Temp, 1e-6, 2e-2)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(w*1e6, "w_um")
+}
+
+// BenchmarkSizeBisectionMemoHit: the same bisection served from the
+// evaluation memo (exact-key lookup, no model evaluation at all).
+func BenchmarkSizeBisectionMemoHit(b *testing.B) {
+	tech := techno.Default060()
+	memo := device.NewMemo(0)
+	if _, err := memo.SizeForCurrent(&tech.N, 1e-6, 0.2, 0, 1e-4, tech.Temp, 1e-6, 2e-2); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var w float64
+	var err error
+	for i := 0; i < b.N; i++ {
+		w, err = memo.SizeForCurrent(&tech.N, 1e-6, 0.2, 0, 1e-4, tech.Temp, 1e-6, 2e-2)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(w*1e6, "w_um")
+}
+
+// benchFCDesign sizes the paper's folded-cascode once for the layout
+// benchmarks.
+func benchFCDesign(b *testing.B) *sizing.FoldedCascode {
+	b.Helper()
+	tech := techno.Default060()
+	ps, _ := sizing.Case(3)
+	d, err := sizing.SizeFoldedCascode(tech, sizing.Default65MHz(), ps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+// BenchmarkLayoutPlanCold: one full layout call — every module built,
+// floorplan optimized, routed and extracted from scratch.
+func BenchmarkLayoutPlanCold(b *testing.B) {
+	tech := techno.Default060()
+	d := benchFCDesign(b)
+	b.ResetTimer()
+	var p *cairo.Plan
+	var err error
+	for i := 0; i < b.N; i++ {
+		p, err = d.Layout().Plan(tech, cairo.Constraint{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(p.Parasitics.AreaUM2, "area_um2")
+}
+
+// BenchmarkLayoutPlanSessionWarm: the same layout call against a warm
+// session — unchanged modules replay their builds, the floorplan reuses
+// cached shape functions and the router replays its recorded shapes, so
+// the call re-extracts only what changed (here: nothing). The ratio to
+// BenchmarkLayoutPlanCold is the incremental-extraction win on the
+// converged iterations of the synthesis loop.
+func BenchmarkLayoutPlanSessionWarm(b *testing.B) {
+	tech := techno.Default060()
+	d := benchFCDesign(b)
+	s := cairo.NewSession(true, true)
+	if _, err := d.Layout().PlanSession(tech, cairo.Constraint{}, s); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var p *cairo.Plan
+	var err error
+	for i := 0; i < b.N; i++ {
+		p, err = d.Layout().PlanSession(tech, cairo.Constraint{}, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(p.Parasitics.AreaUM2, "area_um2")
+}
+
+// benchSlicingTree builds a synthetic 3-level slicing tree wide enough
+// that Stockmeyer combination dominates (8 leaves x 8 options).
+func benchSlicingTree() slicing.Node {
+	var rows []slicing.Node
+	for r := 0; r < 4; r++ {
+		var leaves []slicing.Node
+		for l := 0; l < 2; l++ {
+			var opts []slicing.Option
+			for c := 0; c < 8; c++ {
+				w := int64(1000 * (c + 1 + r + l))
+				opts = append(opts, slicing.Option{W: w, H: 64000000 / w, Choice: c})
+			}
+			leaves = append(leaves, slicing.NewLeaf(fmt.Sprintf("m%d_%d", r, l), opts))
+		}
+		rows = append(rows, slicing.NewCut(true, 8000, leaves...))
+	}
+	return slicing.NewCut(false, 8000, rows...)
+}
+
+// BenchmarkShapeFunctionCold: full Stockmeyer evaluation of the tree's
+// shape function plus realization.
+func BenchmarkShapeFunctionCold(b *testing.B) {
+	root := benchSlicingTree()
+	var fp *slicing.Floorplan
+	var err error
+	for i := 0; i < b.N; i++ {
+		fp, err = slicing.Optimize(root, slicing.Constraint{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(fp.Area(), "area_um2")
+}
+
+// BenchmarkShapeFunctionCached: the same optimization with every
+// subtree's shape function served from a warm cache.
+func BenchmarkShapeFunctionCached(b *testing.B) {
+	root := benchSlicingTree()
+	sc := slicing.NewShapeCache()
+	if _, err := slicing.OptimizeCached(root, slicing.Constraint{}, sc); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var fp *slicing.Floorplan
+	var err error
+	for i := 0; i < b.N; i++ {
+		fp, err = slicing.OptimizeCached(root, slicing.Constraint{}, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(fp.Area(), "area_um2")
+}
+
+// benchMCOffsetSample times one Monte-Carlo sample (bracket + 18
+// bisection solves) on either evaluation path.
+func benchMCOffsetSample(b *testing.B, perSolveRebuild bool) {
+	tech := techno.Default060()
+	spec := sizing.Default65MHz()
+	ps, _ := sizing.Case(1)
+	d, err := sizing.SizeFoldedCascode(tech, spec, ps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := mc.OffsetConfig{
+		Build:           func() *circuit.Circuit { return d.Netlist("mcs") },
+		InP:             sizing.NetInP,
+		InN:             sizing.NetInN,
+		Out:             sizing.NetOut,
+		VicmDC:          0.645,
+		VoutMid:         1.41,
+		Temp:            tech.Temp,
+		NodeSet:         d.NodeSet(),
+		Workers:         1,
+		PerSolveRebuild: perSolveRebuild,
+	}
+	var samples []mc.OffsetSample
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		samples, err = mc.OffsetSamples(cfg, 0, 1, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(samples[0].OffsetV*1e3, "offset_mV")
+}
+
+// BenchmarkMCSamplePerSolveRebuild: the legacy path — a fresh netlist
+// and engine for each of the ~21 solves of the sample.
+func BenchmarkMCSamplePerSolveRebuild(b *testing.B) { benchMCOffsetSample(b, true) }
+
+// BenchmarkMCSampleBatched: the batched path — one netlist and engine
+// per sample, only the input sources swept. Identical offsets.
+func BenchmarkMCSampleBatched(b *testing.B) { benchMCOffsetSample(b, false) }

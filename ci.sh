@@ -12,13 +12,23 @@ go vet ./...
 go build ./...
 go build ./cmd/...
 
+# Differential cold-path cache lane. The four cache layers (device-eval
+# memo, incremental extraction, shape-function cache, MC batching) are
+# only shippable while they are bit-invisible: the harness reruns every
+# topology with caches off vs on and demands hex-exact identity, and the
+# golden suites pin the absolute results (a cache that shifted a single
+# ULP fails here — never re-bless with -update to make this lane pass).
+go test -race -count=1 -run 'TestDifferential' ./internal/core
+go test -race -count=1 -run 'TestSessionIncremental' ./internal/layout/cairo
+go test -count=1 -run 'Golden' ./internal/repro ./internal/serve
+
 # Race lane doubles as the coverage gate: total statement coverage must
 # not sink below the floor (the suite sits near 84% — the floor trips on
 # regressions, not noise). -shuffle=on randomizes test (and package init)
 # order each run, so order-dependence on the package-level topology
 # registry or any other global state surfaces here instead of in the
 # field.
-COVER_FLOOR=82.0
+COVER_FLOOR=83.0
 go test -race -shuffle=on -coverprofile=cover.out ./...
 total=$(go tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $3); print $3}')
 rm -f cover.out

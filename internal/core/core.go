@@ -58,6 +58,40 @@ type Options struct {
 	// until the original spec is met at every corner (see refine.go).
 	// The zero value keeps the one-shot flow bit-identical.
 	Refine RefineOptions
+	// Caches disables individual cold-path cache layers. The zero value
+	// (everything enabled) is the fast path; every layer is bit-invisible,
+	// so flipping a flag changes run time, never results — the invariant
+	// the differential harness in differential_test.go pins.
+	Caches CacheOptions
+
+	// memo and session carry the per-run caches; Synthesize creates them
+	// according to Caches, and refinement rounds share them through the
+	// options copy.
+	memo    *device.Memo
+	session *cairo.Session
+}
+
+// CacheOptions turns cold-path cache layers off, one by one. All layers
+// key on exact bit patterns of their inputs, so results are identical
+// either way; the flags exist for the differential harness, for
+// benchmarking each layer's contribution, and as an escape hatch.
+type CacheOptions struct {
+	// DisableEvalMemo turns off memoized device-model evaluation
+	// (width/bias bisections and design-point operating points) across
+	// sizing passes.
+	DisableEvalMemo bool
+	// DisableIncrementalExtract turns off incremental layout extraction:
+	// module realizations and routing outcomes are rebuilt from scratch
+	// on every layout call instead of reusing unchanged geometry.
+	DisableIncrementalExtract bool
+	// DisableShapeCache turns off slicing-tree shape-function reuse
+	// across layout calls.
+	DisableShapeCache bool
+	// DisableMCBatch selects the legacy Monte-Carlo evaluation that
+	// rebuilds the netlist and engine per bisection probe. Synthesize
+	// itself runs no Monte-Carlo; callers of the MC verification
+	// interface forward this flag to mc.OffsetConfig.PerSolveRebuild.
+	DisableMCBatch bool
 }
 
 func (o *Options) defaults() {
@@ -124,6 +158,12 @@ func metricName(topology string) string {
 // the one-shot flow, bit-identical to the pre-refinement engine.
 func Synthesize(tech *techno.Tech, spec sizing.OTASpec, opts Options) (*Result, error) {
 	opts.defaults()
+	if !opts.Caches.DisableEvalMemo {
+		opts.memo = device.NewMemo(0)
+	}
+	opts.session = cairo.NewSession(
+		!opts.Caches.DisableIncrementalExtract,
+		!opts.Caches.DisableShapeCache)
 	if opts.Refine.Enabled {
 		return synthesizeRefined(tech, spec, opts)
 	}
@@ -143,6 +183,7 @@ func synthesizeOnce(tech *techno.Tech, spec sizing.OTASpec, opts Options, round 
 	if err != nil {
 		return nil, err
 	}
+	ps.Memo = opts.memo
 	obs.Default.Counter("loas_synth_runs_"+metricName(plan.Name)+"_total",
 		"Synthesis runs for topology "+plan.Name+".").Inc()
 
@@ -167,7 +208,7 @@ func synthesizeOnce(tech *techno.Tech, spec sizing.OTASpec, opts Options, round 
 
 		laySpan := itSpan.Child("layout-extract")
 		layoutStart := time.Now()
-		lay, err := design.Layout().Plan(tech, opts.Shape)
+		lay, err := design.Layout().PlanSession(tech, opts.Shape, opts.session)
 		if err != nil {
 			return nil, fmt.Errorf("core: layout call %d: %w", call, err)
 		}

@@ -1,0 +1,217 @@
+// Memoized device evaluation. The sizing plans re-evaluate the exact
+// model at literally identical arguments many times per synthesis: the
+// node-capacitance estimate asks for the same device operating point
+// several times per inner iteration, the bias solver repeats the same
+// VGS bisection once per sizing pass, and converged sizing↔layout
+// iterations repeat whole bisections argument-for-argument. A Memo
+// short-circuits only these *exact* repeats — keys are hex-formatted
+// float64 bit patterns, never rounded or quantized — so a hit returns
+// the very float64 the underlying computation would produce and the
+// cache is invisible in the results by construction.
+//
+// A Memo is created per synthesis run and handed down through the
+// sizing.ParasiticState; a nil *Memo is valid everywhere and simply
+// computes (the disabled/reference path of the differential harness).
+package device
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+
+	"loas/internal/obs"
+	"loas/internal/techno"
+)
+
+// memo cache effectiveness, exposed on /metrics. Hits and misses count
+// every lookup through any Memo instance process-wide.
+var (
+	memoHits = obs.Default.Counter("loas_eval_memo_hits_total",
+		"exact-key device-evaluation memo hits (all synthesis runs)")
+	memoMisses = obs.Default.Counter("loas_eval_memo_misses_total",
+		"exact-key device-evaluation memo misses (all synthesis runs)")
+)
+
+// DefaultMemoEntries bounds a Memo that was created with size <= 0. A
+// synthesis run touches a few thousand distinct evaluation points; the
+// bound exists so a pathological workload degrades to FIFO recycling
+// instead of unbounded growth.
+const DefaultMemoEntries = 1 << 14
+
+// Memo is a bounded exact-key cache over the pure device-model
+// computations (width/bias bisections and design-point evaluations).
+// The zero value is not usable; create instances with NewMemo. All
+// methods are safe for concurrent use and valid on a nil receiver
+// (nil = caching disabled, every call computes).
+type Memo struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]any
+	order   []string // insertion order, for FIFO eviction
+	evict   int      // next order index to evict
+	cardID  map[*techno.MOSCard]string
+	hits    int64
+	misses  int64
+}
+
+// NewMemo returns an empty memo bounded to max entries (<= 0 selects
+// DefaultMemoEntries).
+func NewMemo(max int) *Memo {
+	if max <= 0 {
+		max = DefaultMemoEntries
+	}
+	return &Memo{
+		max:     max,
+		entries: make(map[string]any),
+		cardID:  make(map[*techno.MOSCard]string),
+	}
+}
+
+// Stats reports lifetime hit/miss counts and the current entry count.
+func (mc *Memo) Stats() (hits, misses int64, size int) {
+	if mc == nil {
+		return 0, 0, 0
+	}
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	return mc.hits, mc.misses, len(mc.entries)
+}
+
+// hexF renders a float64 exactly: distinct bit patterns (one ulp apart,
+// ±0, every NaN payload Go can print) yield distinct key fragments.
+func hexF(v float64) string {
+	return strconv.FormatFloat(v, 'x', -1, 64)
+}
+
+// Key builds an exact cache key for an operation on a model card with
+// the given float arguments. Card identity is by pointer: the engine
+// contract keeps MOSCard values immutable while shared, so a pointer
+// names one set of card parameters for the life of the memo. Two cards
+// with equal contents get distinct ids — that only costs hits, never
+// correctness. A nil memo returns "".
+func (mc *Memo) Key(op string, card *techno.MOSCard, vals ...float64) string {
+	if mc == nil {
+		return ""
+	}
+	mc.mu.Lock()
+	id, ok := mc.cardID[card]
+	if !ok {
+		id = "c" + strconv.Itoa(len(mc.cardID))
+		mc.cardID[card] = id
+	}
+	mc.mu.Unlock()
+	var b strings.Builder
+	b.Grow(len(op) + len(id) + 2 + 20*len(vals))
+	b.WriteString(op)
+	b.WriteByte('|')
+	b.WriteString(id)
+	for _, v := range vals {
+		b.WriteByte('|')
+		b.WriteString(hexF(v))
+	}
+	return b.String()
+}
+
+// lookup returns the cached value for key, counting the outcome.
+func (mc *Memo) lookup(key string) (any, bool) {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	v, ok := mc.entries[key]
+	if ok {
+		mc.hits++
+		memoHits.Inc()
+	} else {
+		mc.misses++
+		memoMisses.Inc()
+	}
+	return v, ok
+}
+
+// store inserts a value, evicting the oldest entry at the bound.
+func (mc *Memo) store(key string, v any) {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	if _, dup := mc.entries[key]; dup {
+		return
+	}
+	if len(mc.entries) >= mc.max {
+		// FIFO: drop the oldest live entry.
+		for mc.evict < len(mc.order) {
+			old := mc.order[mc.evict]
+			mc.evict++
+			if _, live := mc.entries[old]; live {
+				delete(mc.entries, old)
+				break
+			}
+		}
+	}
+	mc.entries[key] = v
+	mc.order = append(mc.order, key)
+	// Compact the spent prefix of the eviction queue once it dominates.
+	if mc.evict > mc.max {
+		mc.order = append([]string(nil), mc.order[mc.evict:]...)
+		mc.evict = 0
+	}
+}
+
+// Float memoizes a pure float64-valued computation under key. Errors
+// are never cached (they are rare and cheap to rediscover); a nil memo
+// or empty key just computes.
+func (mc *Memo) Float(key string, f func() (float64, error)) (float64, error) {
+	if mc == nil || key == "" {
+		return f()
+	}
+	if v, ok := mc.lookup(key); ok {
+		return v.(float64), nil
+	}
+	v, err := f()
+	if err != nil {
+		return v, err
+	}
+	mc.store(key, v)
+	return v, nil
+}
+
+// opCaps is the cached value of a design-point evaluation.
+type opCaps struct {
+	op   OP
+	caps CapSet
+}
+
+// OPCaps memoizes a design-point evaluation (operating point plus
+// capacitance set) under key.
+func (mc *Memo) OPCaps(key string, f func() (OP, CapSet)) (OP, CapSet) {
+	if mc == nil || key == "" {
+		return f()
+	}
+	if v, ok := mc.lookup(key); ok {
+		c := v.(opCaps)
+		return c.op, c.caps
+	}
+	op, caps := f()
+	mc.store(key, opCaps{op: op, caps: caps})
+	return op, caps
+}
+
+// SizeForCurrent is the memoized form of the package-level bisection.
+func (mc *Memo) SizeForCurrent(card *techno.MOSCard, l, veff, vsb, id, temp, wmin, wmax float64) (float64, error) {
+	return mc.Float(mc.Key("szI", card, l, veff, vsb, id, temp, wmin, wmax), func() (float64, error) {
+		return SizeForCurrent(card, l, veff, vsb, id, temp, wmin, wmax)
+	})
+}
+
+// SizeForGm is the memoized form of the package-level bisection.
+func (mc *Memo) SizeForGm(card *techno.MOSCard, l, veff, vsb, gm, temp, wmin, wmax float64) (float64, error) {
+	return mc.Float(mc.Key("szG", card, l, veff, vsb, gm, temp, wmin, wmax), func() (float64, error) {
+		return SizeForGm(card, l, veff, vsb, gm, temp, wmin, wmax)
+	})
+}
+
+// VGSForCurrent is the memoized form of (*MOS).VGSForCurrent. The key
+// carries everything idsCore reads from the instance: card, W, L and
+// the multiplier.
+func (mc *Memo) VGSForCurrent(m *MOS, id, vds, vsb, temp float64) (float64, error) {
+	return mc.Float(mc.Key("vgs", m.Card, m.W, m.L, m.M(), id, vds, vsb, temp), func() (float64, error) {
+		return m.VGSForCurrent(id, vds, vsb, temp)
+	})
+}

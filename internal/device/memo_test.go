@@ -1,0 +1,184 @@
+package device
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"loas/internal/techno"
+)
+
+func TestMemoBoundedFIFOEviction(t *testing.T) {
+	m := NewMemo(4)
+	calls := 0
+	get := func(k string) float64 {
+		v, err := m.Float(k, func() (float64, error) {
+			calls++
+			return float64(calls), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	for i := 0; i < 10; i++ {
+		get("k" + strconv.Itoa(i))
+	}
+	if _, _, size := m.Stats(); size > 4 {
+		t.Fatalf("memo grew past its bound: %d entries", size)
+	}
+	// The four newest keys must still be cached...
+	before := calls
+	for i := 6; i < 10; i++ {
+		get("k" + strconv.Itoa(i))
+	}
+	if calls != before {
+		t.Fatalf("recent keys were evicted: %d recomputes", calls-before)
+	}
+	// ...and the oldest must have been dropped (FIFO).
+	get("k0")
+	if calls != before+1 {
+		t.Fatal("k0 survived eviction past the bound")
+	}
+}
+
+func TestMemoErrorsNotCached(t *testing.T) {
+	m := NewMemo(0)
+	calls := 0
+	f := func() (float64, error) {
+		calls++
+		if calls == 1 {
+			return 0, errors.New("transient")
+		}
+		return 42, nil
+	}
+	if _, err := m.Float("k", f); err == nil {
+		t.Fatal("first call should fail")
+	}
+	v, err := m.Float("k", f)
+	if err != nil || v != 42 {
+		t.Fatalf("error was cached: v=%v err=%v", v, err)
+	}
+	if calls != 2 {
+		t.Fatalf("expected 2 computes, got %d", calls)
+	}
+}
+
+func TestMemoNilAndEmptyKeyCompute(t *testing.T) {
+	var m *Memo
+	v, err := m.Float(m.Key("op", nil, 1), func() (float64, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("nil memo: v=%v err=%v", v, err)
+	}
+	if h, mi, size := m.Stats(); h != 0 || mi != 0 || size != 0 {
+		t.Fatal("nil memo reported stats")
+	}
+	mm := NewMemo(0)
+	calls := 0
+	for i := 0; i < 2; i++ {
+		if _, err := mm.Float("", func() (float64, error) { calls++; return 1, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if calls != 2 {
+		t.Fatal("empty key was cached")
+	}
+}
+
+// TestMemoKeyUlpDistinct is the collision-safety fuzz: keys built from
+// operating points one ulp apart — or differing only in sign of zero —
+// must never collide, for every argument position.
+func TestMemoKeyUlpDistinct(t *testing.T) {
+	m := NewMemo(0)
+	card := &techno.MOSCard{}
+	rng := rand.New(rand.NewSource(99))
+	vals := make([]float64, 6)
+	for trial := 0; trial < 2000; trial++ {
+		for i := range vals {
+			// Mix magnitudes from subnormal-adjacent to huge.
+			vals[i] = (rng.Float64() - 0.5) * math.Pow(10, float64(rng.Intn(60)-30))
+		}
+		base := m.Key("op", card, vals...)
+		pos := rng.Intn(len(vals))
+		orig := vals[pos]
+		vals[pos] = math.Nextafter(orig, math.Inf(1-2*rng.Intn(2)))
+		if pert := m.Key("op", card, vals...); pert == base {
+			t.Fatalf("ulp perturbation collided at pos %d: %v vs %v", pos, orig, vals[pos])
+		}
+		vals[pos] = orig
+	}
+	if m.Key("z", card, 0.0) == m.Key("z", card, math.Copysign(0, -1)) {
+		t.Fatal("+0 and -0 collided")
+	}
+}
+
+// TestMemoCardIdentity: two cards with identical contents get distinct
+// key spaces (pointer identity names the card), so a memo can never leak
+// results across model cards.
+func TestMemoCardIdentity(t *testing.T) {
+	m := NewMemo(0)
+	a, b := &techno.MOSCard{VT0: 0.7}, &techno.MOSCard{VT0: 0.7}
+	if m.Key("op", a, 1) == m.Key("op", b, 1) {
+		t.Fatal("distinct cards share keys")
+	}
+	if m.Key("op", a, 1) != m.Key("op", a, 1) {
+		t.Fatal("same card, same args: keys differ")
+	}
+}
+
+// TestMemoizedWrappersMatchDirect: the memoized bisections return the
+// exact float64 of the direct computation, and repeat calls hit.
+func TestMemoizedWrappersMatchDirect(t *testing.T) {
+	tech := techno.Default060()
+	m := NewMemo(0)
+	const l, veff, id, temp = 1e-6, 0.2, 1e-4, 27.0
+	wmin, wmax := 1e-6, 2e-2
+
+	direct, err := SizeForCurrent(&tech.N, l, veff, 0, id, temp, wmin, wmax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		got, err := m.SizeForCurrent(&tech.N, l, veff, 0, id, temp, wmin, wmax)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != direct {
+			t.Fatalf("memoized SizeForCurrent diverged: %x vs %x", got, direct)
+		}
+	}
+	hits, misses, _ := m.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("expected 1 hit / 1 miss, got %d / %d", hits, misses)
+	}
+
+	mos := MOS{Card: &tech.N, W: 20e-6, L: l}
+	dv, err := mos.VGSForCurrent(id, 0.9, 0, temp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mv, err := m.VGSForCurrent(&mos, id, 0.9, 0, temp)
+	if err != nil || mv != dv {
+		t.Fatalf("memoized VGSForCurrent diverged: %x vs %x (err %v)", mv, dv, err)
+	}
+}
+
+func TestMemoOPCaps(t *testing.T) {
+	m := NewMemo(0)
+	calls := 0
+	f := func() (OP, CapSet) {
+		calls++
+		return OP{ID: 1e-4, Gm: 2e-3}, CapSet{CGS: 1e-15}
+	}
+	k := m.Key("oc", nil, 1, 2)
+	op1, c1 := m.OPCaps(k, f)
+	op2, c2 := m.OPCaps(k, f)
+	if calls != 1 {
+		t.Fatalf("expected 1 compute, got %d", calls)
+	}
+	if op1 != op2 || c1 != c2 {
+		t.Fatal("cached OP/CapSet differs from computed")
+	}
+}

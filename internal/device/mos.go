@@ -244,6 +244,34 @@ func (m *MOS) Eval(vg, vd, vs, vb, temp float64) OP {
 	return op
 }
 
+// EvalID computes only the drain current of Eval — the identical
+// arithmetic path (sign mirroring, drain/source swap, idsCore) without
+// the six extra idsCore calls that back the numerical conductances. The
+// DC Newton solver builds its own Jacobian by differencing this value,
+// so it needs nothing else; keeping the code path shared with Eval is
+// what makes the result bit-identical by construction.
+func (m *MOS) EvalID(vg, vd, vs, vb, temp float64) float64 {
+	c := m.Card
+	vt := techno.ThermalVoltage(temp)
+	sign := c.VTSign()
+
+	vgb := sign * (vg - vb)
+	vdb := sign * (vd - vb)
+	vsb := sign * (vs - vb)
+
+	swapped := false
+	if vdb < vsb {
+		vdb, vsb = vsb, vdb
+		swapped = true
+	}
+
+	id := sign * m.idsCore(vgb, vdb, vsb, vt)
+	if swapped {
+		id = -id
+	}
+	return id
+}
+
 // IDSat returns the drain current in saturation for a given overdrive,
 // solving nothing: it evaluates the model at VDS = Veff + 5·n·vt, VBS as
 // given. Used by the sizing tool to stay on the exact simulator model.

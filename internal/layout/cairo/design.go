@@ -64,8 +64,9 @@ func (d *Design) module(name string) Module {
 }
 
 // slicingNode converts the tree spec into slicing nodes backed by real
-// module builds, so the shape function reflects exact geometry.
-func (d *Design) slicingNode(tech *techno.Tech, t *Tree, cache *buildCache) (slicing.Node, error) {
+// module builds, so the shape function reflects exact geometry. Module
+// realizations go through the session's build cache when one is given.
+func (d *Design) slicingNode(tech *techno.Tech, t *Tree, cache *buildCache, s *Session) (slicing.Node, error) {
 	var children []slicing.Node
 	for _, name := range t.Leaves {
 		m := d.module(name)
@@ -75,7 +76,7 @@ func (d *Design) slicingNode(tech *techno.Tech, t *Tree, cache *buildCache) (sli
 		var alts []slicing.Option
 		built := map[int]*Built{}
 		for _, choice := range m.Choices() {
-			b, err := m.Build(tech, choice)
+			b, err := s.build(tech, m, choice)
 			if err != nil {
 				return nil, fmt.Errorf("cairo: module %s choice %d: %w", name, choice, err)
 			}
@@ -87,7 +88,7 @@ func (d *Design) slicingNode(tech *techno.Tech, t *Tree, cache *buildCache) (sli
 		children = append(children, slicing.NewLeaf(name, alts))
 	}
 	for _, sub := range t.Children {
-		n, err := d.slicingNode(tech, sub, cache)
+		n, err := d.slicingNode(tech, sub, cache, s)
 		if err != nil {
 			return nil, err
 		}
@@ -133,14 +134,22 @@ var layoutPlans = obs.Default.Counter("loas_layout_plans_total",
 // Plan runs the flow: area optimization under the shape constraint,
 // module realization, routing, extraction.
 func (d *Design) Plan(tech *techno.Tech, c Constraint) (*Plan, error) {
+	return d.PlanSession(tech, c, nil)
+}
+
+// PlanSession is Plan with cross-call caching: a non-nil Session reuses
+// module builds, slicing shape functions and routing outcomes recorded
+// by earlier Plan calls of the same synthesis run, re-extracting only
+// what actually changed. The result is bit-identical to Plan.
+func (d *Design) PlanSession(tech *techno.Tech, c Constraint, s *Session) (*Plan, error) {
 	layoutPlans.Inc()
 	cache := &buildCache{byModule: map[string]map[int]*Built{}}
 	need := d.channelNeedNM(tech)
-	root, err := d.slicingNode(tech, widenGaps(d.Tree, need), cache)
+	root, err := d.slicingNode(tech, widenGaps(d.Tree, need), cache, s)
 	if err != nil {
 		return nil, err
 	}
-	fp, err := slicing.Optimize(root, c)
+	fp, err := slicing.OptimizeCached(root, c, s.shapeCache(tech))
 	if err != nil {
 		return nil, fmt.Errorf("cairo: design %s: %w", d.Name, err)
 	}
@@ -185,7 +194,7 @@ func (d *Design) Plan(tech *techno.Tech, c Constraint) (*Plan, error) {
 		obstacles = append(obstacles, fp.Placed[name].Rect)
 	}
 	channels := route.Channels(obstacles, need)
-	rres, err := route.Route(tech, top, d.Nets, channels)
+	rres, err := s.routeCached(tech, top, d.Nets, channels)
 	if err != nil {
 		return nil, fmt.Errorf("cairo: design %s: %w", d.Name, err)
 	}

@@ -1,0 +1,308 @@
+// Incremental layout across the repeated Plan calls of one synthesis
+// run. Between consecutive sizing↔layout iterations most modules are
+// byte-for-byte unchanged (the sizing pass converges device by device),
+// and on the final iterations nothing changes at all. A Session caches:
+//
+//   - module realizations (Built) keyed by an exact signature of every
+//     module parameter plus the shape choice, so only modules whose
+//     geometry inputs changed are rebuilt and re-extracted;
+//   - the routing step keyed by an exact serialization of the placed
+//     cell, net list and channels, so an unchanged placement replays the
+//     recorded wire/via shapes and reuses the extracted wiring report;
+//   - slicing shape functions (see slicing.ShapeCache).
+//
+// Every key is an exact rendering of the inputs (hex float64 bit
+// patterns, integer nanometres), so a cache hit returns precisely what
+// recomputation would — layouts and parasitics stay bit-identical with
+// the session on or off. A nil *Session disables everything (the
+// reference path of the differential harness).
+package cairo
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"loas/internal/layout/geom"
+	"loas/internal/layout/route"
+	"loas/internal/layout/slicing"
+	"loas/internal/techno"
+)
+
+// Session carries layout caches across Plan calls. Safe for concurrent
+// use, but keyed to the first *techno.Tech it sees: a Plan call with a
+// different technology bypasses the caches.
+type Session struct {
+	mu     sync.Mutex
+	tech   *techno.Tech
+	shapes *slicing.ShapeCache
+	builds map[string]*Built
+	routes map[string]*routeEntry
+
+	buildHits, buildMisses int64
+	routeHits, routeMisses int64
+}
+
+// routeEntry records one routing outcome: the shapes the router appended
+// to the top cell (wires and vias, in order) and its parasitic report.
+// Plan only reads the report, so the entry is shared, not copied.
+type routeEntry struct {
+	added []geom.Shape
+	res   *route.Result
+}
+
+// NewSession returns a session with the selected cache layers enabled:
+// incremental re-extraction (module builds + routing) and/or slicing
+// shape-function caching. NewSession(false, false) — or a nil Session —
+// caches nothing.
+func NewSession(incremental, shapeCache bool) *Session {
+	s := &Session{}
+	if incremental {
+		s.builds = map[string]*Built{}
+		s.routes = map[string]*routeEntry{}
+	}
+	if shapeCache {
+		s.shapes = slicing.NewShapeCache()
+	}
+	return s
+}
+
+// SessionStats is a point-in-time view of cache effectiveness.
+type SessionStats struct {
+	BuildHits, BuildMisses int64
+	RouteHits, RouteMisses int64
+	ShapeHits, ShapeMisses int64
+}
+
+// Stats reports hit/miss counts for every cache layer.
+func (s *Session) Stats() SessionStats {
+	if s == nil {
+		return SessionStats{}
+	}
+	s.mu.Lock()
+	st := SessionStats{
+		BuildHits: s.buildHits, BuildMisses: s.buildMisses,
+		RouteHits: s.routeHits, RouteMisses: s.routeMisses,
+	}
+	s.mu.Unlock()
+	st.ShapeHits, st.ShapeMisses, _ = s.shapes.Stats()
+	return st
+}
+
+// shapeCache returns the slicing cache to use for a Plan call under the
+// given technology (nil when disabled or the tech doesn't match).
+func (s *Session) shapeCache(tech *techno.Tech) *slicing.ShapeCache {
+	if s == nil || !s.bindTech(tech) {
+		return nil
+	}
+	return s.shapes
+}
+
+// bindTech pins the session to the first technology it serves; a
+// different one disables the caches rather than risking stale geometry.
+func (s *Session) bindTech(tech *techno.Tech) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tech == nil {
+		s.tech = tech
+	}
+	return s.tech == tech
+}
+
+// sigWriter accumulates exact cache-key fragments.
+type sigWriter struct{ b strings.Builder }
+
+func (w *sigWriter) str(v string) {
+	w.b.WriteString(strconv.Itoa(len(v)))
+	w.b.WriteByte(':')
+	w.b.WriteString(v)
+}
+func (w *sigWriter) f64(v float64) {
+	w.b.WriteString(strconv.FormatFloat(v, 'x', -1, 64))
+	w.b.WriteByte('|')
+}
+func (w *sigWriter) i64(v int64) {
+	w.b.WriteString(strconv.FormatInt(v, 10))
+	w.b.WriteByte('|')
+}
+func (w *sigWriter) boolean(v bool) {
+	if v {
+		w.b.WriteByte('t')
+	} else {
+		w.b.WriteByte('f')
+	}
+}
+func (w *sigWriter) rect(r geom.Rect) {
+	w.i64(r.L)
+	w.i64(r.B)
+	w.i64(r.R)
+	w.i64(r.T)
+}
+
+// moduleSig renders the full parameter set of a known module type; ok is
+// false for module implementations the session cannot fingerprint, which
+// then build uncached.
+func moduleSig(m Module) (sig string, ok bool) {
+	var w sigWriter
+	switch t := m.(type) {
+	case *Transistor:
+		w.b.WriteString("xtor|")
+		w.str(t.Inst)
+		w.i64(int64(t.Type))
+		w.f64(t.W)
+		w.f64(t.L)
+		w.i64(int64(t.Style))
+		w.str(t.DrainNet)
+		w.str(t.GateNet)
+		w.str(t.SourceNet)
+		w.str(t.BulkNet)
+		w.f64(t.IDrain)
+		w.i64(int64(t.MaxFolds))
+		w.boolean(t.EvenOnly)
+		w.str(t.WellNet)
+	case *MatchedStack:
+		w.b.WriteString("stack|")
+		w.str(t.Label)
+		w.i64(int64(t.Type))
+		for _, d := range t.Devices {
+			w.str(d.Name)
+			w.i64(int64(d.Units))
+			w.str(d.DrainNet)
+			w.str(d.GateNet)
+		}
+		w.str(t.SourceNet)
+		w.str(t.BulkNet)
+		w.f64(t.WidthPerBaseUnit)
+		w.f64(t.L)
+		names := make([]string, 0, len(t.Currents))
+		for n := range t.Currents {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			w.str(n)
+			w.f64(t.Currents[n])
+		}
+		w.boolean(t.EndDummies)
+		for _, sp := range t.Splits {
+			w.i64(int64(sp))
+		}
+		w.str(t.WellNet)
+	case *CapModule:
+		w.b.WriteString("cap|")
+		w.str(t.Inst)
+		w.f64(t.C)
+		w.str(t.TopNet)
+		w.str(t.BottomNet)
+		for _, a := range t.Aspects {
+			w.f64(a)
+		}
+	case *ResistorModule:
+		w.b.WriteString("res|")
+		w.str(t.Inst)
+		w.f64(t.R)
+		w.str(t.ANet)
+		w.str(t.BNet)
+		w.i64(t.WidthNM)
+	default:
+		return "", false
+	}
+	return w.b.String(), true
+}
+
+// build realizes one module choice through the cache. Built values are
+// shared across Plan calls: Plan merges (copies) the cell into the top
+// cell and only reads the parasitic maps, so reuse is safe.
+func (s *Session) build(tech *techno.Tech, m Module, choice int) (*Built, error) {
+	if s == nil || s.builds == nil || !s.bindTech(tech) {
+		return m.Build(tech, choice)
+	}
+	sig, ok := moduleSig(m)
+	if !ok {
+		return m.Build(tech, choice)
+	}
+	key := sig + "#" + strconv.Itoa(choice)
+	s.mu.Lock()
+	b, hit := s.builds[key]
+	if hit {
+		s.buildHits++
+	} else {
+		s.buildMisses++
+	}
+	s.mu.Unlock()
+	if hit {
+		return b, nil
+	}
+	b, err := m.Build(tech, choice)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.builds[key] = b
+	s.mu.Unlock()
+	return b, nil
+}
+
+// routeKey serializes everything route.Route reads: the placed cell's
+// shapes and ports, the net list with currents, and the channel bands.
+func routeKey(cell *geom.Cell, nets []route.Net, channels []route.YRange) string {
+	var w sigWriter
+	w.b.Grow(64 * (len(cell.Shapes) + len(cell.Ports) + len(nets)))
+	for _, sh := range cell.Shapes {
+		w.i64(int64(sh.Layer))
+		w.rect(sh.R)
+		w.str(sh.Net)
+	}
+	w.b.WriteString("P|")
+	for _, p := range cell.Ports {
+		w.str(p.Name)
+		w.str(p.Net)
+		w.i64(int64(p.Layer))
+		w.rect(p.R)
+	}
+	w.b.WriteString("N|")
+	for _, n := range nets {
+		w.str(n.Name)
+		w.f64(n.Current)
+	}
+	w.b.WriteString("C|")
+	for _, c := range channels {
+		w.i64(c.B)
+		w.i64(c.T)
+	}
+	return w.b.String()
+}
+
+// routeCached routes the cell, replaying a recorded outcome when the
+// exact placement was routed before. The router mutates the cell only by
+// appending shapes, so a replay re-appends the recorded wires and vias
+// and skips the channel router and wiring extraction entirely.
+func (s *Session) routeCached(tech *techno.Tech, cell *geom.Cell, nets []route.Net, channels []route.YRange) (*route.Result, error) {
+	if s == nil || s.routes == nil || !s.bindTech(tech) {
+		return route.Route(tech, cell, nets, channels)
+	}
+	key := routeKey(cell, nets, channels)
+	s.mu.Lock()
+	e, hit := s.routes[key]
+	if hit {
+		s.routeHits++
+	} else {
+		s.routeMisses++
+	}
+	s.mu.Unlock()
+	if hit {
+		cell.Shapes = append(cell.Shapes, e.added...)
+		return e.res, nil
+	}
+	before := len(cell.Shapes)
+	res, err := route.Route(tech, cell, nets, channels)
+	if err != nil {
+		return nil, err
+	}
+	added := append([]geom.Shape(nil), cell.Shapes[before:]...)
+	s.mu.Lock()
+	s.routes[key] = &routeEntry{added: added, res: res}
+	s.mu.Unlock()
+	return res, nil
+}

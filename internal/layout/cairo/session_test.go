@@ -1,0 +1,235 @@
+package cairo
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"loas/internal/device"
+	"loas/internal/layout/route"
+	"loas/internal/layout/stack"
+	"loas/internal/techno"
+)
+
+// perturbedDesign builds the test design with scaled device geometry and
+// passive values — one point of the perturbation space the property test
+// walks. Scales of exactly 1 reproduce the base design bit-for-bit.
+func perturbedDesign(wScale, stackScale, capScale float64) *Design {
+	return &Design{
+		Name: "prop",
+		Modules: []Module{
+			&Transistor{
+				Inst: "MP1", Type: techno.PMOS,
+				W: 60 * um * wScale, L: 1 * um,
+				Style:    device.DrainInternal,
+				DrainNet: "out", GateNet: "bias", SourceNet: "vdd", BulkNet: "vdd",
+				IDrain: 150e-6, EvenOnly: true,
+			},
+			&MatchedStack{
+				Label: "mirror", Type: techno.NMOS,
+				Devices: []stack.Device{
+					{Name: "MN1", Units: 2, DrainNet: "bias", GateNet: "bias"},
+					{Name: "MN2", Units: 2, DrainNet: "out", GateNet: "bias"},
+				},
+				SourceNet: "gnd", BulkNet: "gnd",
+				WidthPerBaseUnit: 15 * um * stackScale, L: 1 * um,
+				Currents:   map[string]float64{"bias": 150e-6, "out": 150e-6},
+				EndDummies: true,
+			},
+			&CapModule{
+				Inst: "CC", C: 1e-12 * capScale,
+				TopNet: "out", BottomNet: "gnd",
+			},
+			&ResistorModule{
+				Inst: "RZ", R: 2000,
+				ANet: "out", BNet: "bias",
+			},
+		},
+		Tree: &Tree{Vertical: false, GapNM: 8000,
+			Leaves: []string{"MP1", "mirror"},
+			Children: []*Tree{
+				{Vertical: true, GapNM: 8000, Leaves: []string{"CC", "RZ"}},
+			}},
+		Nets: []route.Net{{Name: "out", Current: 150e-6}, {Name: "bias", Current: 150e-6}},
+	}
+}
+
+// planFingerprint renders a plan's full observable output — parasitics
+// and geometry — with exact hex floats.
+func planFingerprint(p *Plan) string {
+	var b strings.Builder
+	hx := func(v float64) string { return strconv.FormatFloat(v, 'x', -1, 64) }
+	par := p.Parasitics
+	var keys []string
+	for k := range par.NetCap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "net %s=%s\n", k, hx(par.NetCap[k]))
+	}
+	pairs := make([]route.NetPair, 0, len(par.Coupling))
+	for pr := range par.Coupling {
+		pairs = append(pairs, pr)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].A != pairs[j].A {
+			return pairs[i].A < pairs[j].A
+		}
+		return pairs[i].B < pairs[j].B
+	})
+	for _, pr := range pairs {
+		fmt.Fprintf(&b, "coup %s~%s=%s\n", pr.A, pr.B, hx(par.Coupling[pr]))
+	}
+	keys = keys[:0]
+	for k := range par.WellCap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "well %s=%s\n", k, hx(par.WellCap[k]))
+	}
+	keys = keys[:0]
+	for k := range par.DeviceGeom {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		g := par.DeviceGeom[k]
+		f := par.Folds[k]
+		fmt.Fprintf(&b, "dev %s %s %s %s %s f%d %s\n", k,
+			hx(g.AD), hx(g.PD), hx(g.AS), hx(g.PS), f.Folds, hx(f.FingerW))
+	}
+	fmt.Fprintf(&b, "fp %s %s %s\n", hx(par.WidthUM), hx(par.HeightUM), hx(par.AreaUM2))
+	for _, sh := range p.Cell.Shapes {
+		fmt.Fprintf(&b, "s %d %d,%d,%d,%d %s\n", sh.Layer, sh.R.L, sh.R.B, sh.R.R, sh.R.T, sh.Net)
+	}
+	for _, pt := range p.Cell.Ports {
+		fmt.Fprintf(&b, "p %s %s %d %d,%d,%d,%d\n", pt.Name, pt.Net, pt.Layer, pt.R.L, pt.R.B, pt.R.R, pt.R.T)
+	}
+	names := make([]string, 0, len(p.ChoiceOf))
+	for n := range p.ChoiceOf {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "c %s=%d\n", n, p.ChoiceOf[n])
+	}
+	return b.String()
+}
+
+// TestSessionIncrementalEqualsFull is the property test for incremental
+// extraction: over randomized module-geometry perturbation sequences, a
+// persistent Session (reusing module builds, shape functions and routing
+// across steps) must produce bit-identical plans to a cold Plan call at
+// every step. Cases cover the nothing-changed and all-changed extremes
+// plus seeded random walks that perturb random module subsets.
+func TestSessionIncrementalEqualsFull(t *testing.T) {
+	tech := techno.Default060()
+
+	// scales maps a step index to the design perturbation of that step.
+	cases := []struct {
+		name   string
+		seed   int64
+		steps  int
+		scales func(rng *rand.Rand, step int) (w, stack, cap float64)
+	}{
+		{
+			// Every step re-plans the identical design: the session must
+			// replay everything and change nothing.
+			name: "nothing-changed", steps: 4,
+			scales: func(*rand.Rand, int) (float64, float64, float64) { return 1, 1, 1 },
+		},
+		{
+			// Every module changes every step: the session caches are
+			// pure overhead and must stay invisible.
+			name: "all-changed", seed: 11, steps: 4,
+			scales: func(rng *rand.Rand, _ int) (float64, float64, float64) {
+				return 0.8 + 0.4*rng.Float64(), 0.8 + 0.4*rng.Float64(), 0.8 + 0.4*rng.Float64()
+			},
+		},
+		{
+			// A random subset of modules changes each step (including
+			// possibly none), revisiting earlier geometry so stale-entry
+			// reuse would be caught.
+			name: "random-subset", seed: 23, steps: 8,
+			scales: func(rng *rand.Rand, _ int) (float64, float64, float64) {
+				pick := func() float64 {
+					if rng.Intn(2) == 0 {
+						return 1
+					}
+					// A coarse grid revisits values across steps.
+					return 0.8 + 0.1*float64(rng.Intn(5))
+				}
+				return pick(), pick(), pick()
+			},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(tc.seed))
+			s := NewSession(true, true)
+			for step := 0; step < tc.steps; step++ {
+				w, st, cp := tc.scales(rng, step)
+				cold, err := perturbedDesign(w, st, cp).Plan(tech, Constraint{})
+				if err != nil {
+					t.Fatalf("step %d cold plan: %v", step, err)
+				}
+				warm, err := perturbedDesign(w, st, cp).PlanSession(tech, Constraint{}, s)
+				if err != nil {
+					t.Fatalf("step %d session plan: %v", step, err)
+				}
+				if cf, wf := planFingerprint(cold), planFingerprint(warm); cf != wf {
+					cl, wl := strings.Split(cf, "\n"), strings.Split(wf, "\n")
+					for i := 0; i < len(cl) && i < len(wl); i++ {
+						if cl[i] != wl[i] {
+							t.Fatalf("step %d: session diverged at line %d:\n  cold: %s\n  warm: %s",
+								step, i+1, cl[i], wl[i])
+						}
+					}
+					t.Fatalf("step %d: session diverged in length: %d vs %d", step, len(cl), len(wl))
+				}
+			}
+			st := s.Stats()
+			if st.BuildHits == 0 || st.ShapeHits == 0 {
+				t.Fatalf("session never hit its caches: %+v", st)
+			}
+			if tc.name == "nothing-changed" && st.RouteHits == 0 {
+				t.Fatalf("identical re-plans never replayed routing: %+v", st)
+			}
+		})
+	}
+}
+
+// TestSessionTechMismatchBypasses pins the safety valve: a session serves
+// exactly one technology, and a Plan under a different one must compute
+// cold rather than replay geometry from the wrong process.
+func TestSessionTechMismatchBypasses(t *testing.T) {
+	techA := techno.Default060()
+	techB := techno.Default060()
+	s := NewSession(true, true)
+	if _, err := perturbedDesign(1, 1, 1).PlanSession(techA, Constraint{}, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := perturbedDesign(1, 1, 1).PlanSession(techB, Constraint{}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := perturbedDesign(1, 1, 1).Plan(techB, Constraint{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if planFingerprint(got) != planFingerprint(want) {
+		t.Fatal("tech-mismatched session altered the plan")
+	}
+	st := s.Stats()
+	if st.BuildHits != 0 && st.RouteHits != 0 {
+		// Both techs produced identical keys only if the cache was
+		// consulted across technologies — which bindTech must prevent.
+		t.Fatalf("session served entries across technologies: %+v", st)
+	}
+}

@@ -1,0 +1,134 @@
+// Shape-function caching across repeated floorplan optimizations. The
+// sizing↔layout loop re-optimizes the same slicing tree several times per
+// synthesis, and between consecutive calls most modules keep their exact
+// shape alternatives (only the devices the sizing pass actually resized
+// change). A ShapeCache keys every subtree by a canonical signature of
+// its structure and option lists, so an unchanged subtree reuses the
+// Pareto shape function — including the realize closures, which are pure
+// functions of the captured leaf names and option geometry — computed in
+// an earlier call. Signatures are exact (integer geometry, no rounding),
+// so the cached path realizes bit-identical floorplans.
+package slicing
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// ShapeCache caches combined shape functions per canonical subtree
+// signature. Safe for concurrent use; a nil *ShapeCache disables caching.
+type ShapeCache struct {
+	mu      sync.Mutex
+	entries map[string]ShapeFn
+	hits    int64
+	misses  int64
+}
+
+// NewShapeCache returns an empty cache.
+func NewShapeCache() *ShapeCache {
+	return &ShapeCache{entries: map[string]ShapeFn{}}
+}
+
+// Stats reports lifetime subtree hit/miss counts and the entry count.
+func (sc *ShapeCache) Stats() (hits, misses int64, size int) {
+	if sc == nil {
+		return 0, 0, 0
+	}
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.hits, sc.misses, len(sc.entries)
+}
+
+// Signature returns the canonical signature of a subtree, or ok=false
+// when the tree contains node types the cache cannot canonicalize (custom
+// Node implementations) — those compute uncached.
+func Signature(n Node) (sig string, ok bool) {
+	var b strings.Builder
+	if !writeSig(&b, n) {
+		return "", false
+	}
+	return b.String(), true
+}
+
+func writeSig(b *strings.Builder, n Node) bool {
+	switch t := n.(type) {
+	case *Leaf:
+		b.WriteString("L")
+		b.WriteString(strconv.Itoa(len(t.Name)))
+		b.WriteByte(':')
+		b.WriteString(t.Name)
+		for _, o := range t.Options {
+			b.WriteByte('|')
+			b.WriteString(strconv.Itoa(o.Choice))
+			b.WriteByte(',')
+			b.WriteString(strconv.FormatInt(o.W, 10))
+			b.WriteByte(',')
+			b.WriteString(strconv.FormatInt(o.H, 10))
+		}
+		return true
+	case *Cut:
+		if t.Vertical {
+			b.WriteString("CV")
+		} else {
+			b.WriteString("CH")
+		}
+		b.WriteString(strconv.FormatInt(t.Gap, 10))
+		for _, ch := range t.Children {
+			b.WriteByte('(')
+			if !writeSig(b, ch) {
+				return false
+			}
+			b.WriteByte(')')
+		}
+		return true
+	}
+	return false
+}
+
+// shapes computes (or recalls) the shape function of a subtree, caching
+// at every canonicalizable level so a changed leaf invalidates only the
+// cuts on its root path.
+func (sc *ShapeCache) shapes(n Node) ShapeFn {
+	sig, ok := Signature(n)
+	if !ok {
+		return n.Shapes()
+	}
+	sc.mu.Lock()
+	sf, hit := sc.entries[sig]
+	if hit {
+		sc.hits++
+	} else {
+		sc.misses++
+	}
+	sc.mu.Unlock()
+	if hit {
+		return sf
+	}
+	switch t := n.(type) {
+	case *Leaf:
+		sf = t.Shapes()
+	case *Cut:
+		if len(t.Children) > 0 {
+			acc := sc.shapes(t.Children[0])
+			for _, ch := range t.Children[1:] {
+				acc = combine(acc, sc.shapes(ch), t.Vertical, t.Gap)
+			}
+			sf = acc
+		}
+	}
+	sc.mu.Lock()
+	sc.entries[sig] = sf
+	sc.mu.Unlock()
+	return sf
+}
+
+// OptimizeCached is Optimize with subtree shape functions served from
+// the cache. A nil cache is exactly Optimize; the realized floorplan is
+// bit-identical either way because cache keys are exact.
+func OptimizeCached(root Node, c Constraint, sc *ShapeCache) (*Floorplan, error) {
+	if sc == nil {
+		return Optimize(root, c)
+	}
+	return realizeBest(sc.shapes(root), c)
+}

@@ -1,0 +1,152 @@
+package slicing
+
+import (
+	"testing"
+)
+
+// fakeNode is a Node implementation the cache has no signature for; it
+// delegates to a wrapped node so its options stay realizable.
+type fakeNode struct{ inner Node }
+
+func (f fakeNode) Shapes() ShapeFn { return f.inner.Shapes() }
+
+func cacheTestTree() Node {
+	a := leaf("a", [2]int64{10, 30}, [2]int64{30, 10})
+	b := leaf("b", [2]int64{20, 20})
+	c := leaf("c", [2]int64{40, 5}, [2]int64{5, 40})
+	return NewCut(false, 2, NewCut(true, 3, a, b), c)
+}
+
+func fpEqual(a, b *Floorplan) bool {
+	if a.W != b.W || a.H != b.H || len(a.Placed) != len(b.Placed) {
+		return false
+	}
+	for n, pa := range a.Placed {
+		if b.Placed[n] != pa {
+			return false
+		}
+	}
+	return true
+}
+
+func TestOptimizeCachedMatchesOptimize(t *testing.T) {
+	root := cacheTestTree()
+	want, err := Optimize(root, Constraint{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := NewShapeCache()
+	for i := 0; i < 3; i++ {
+		got, err := OptimizeCached(root, Constraint{}, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !fpEqual(got, want) {
+			t.Fatalf("cached pass %d diverged: %+v vs %+v", i, got, want)
+		}
+	}
+	hits, misses, size := sc.Stats()
+	// Pass 1 misses every subtree (3 leaves + 2 cuts); passes 2-3 hit
+	// only the root.
+	if misses != 5 || hits != 2 || size != 5 {
+		t.Fatalf("stats = %d hits / %d misses / %d entries", hits, misses, size)
+	}
+	if got, err := OptimizeCached(root, Constraint{}, nil); err != nil || !fpEqual(got, want) {
+		t.Fatalf("nil cache diverged: %+v err=%v", got, err)
+	}
+}
+
+// TestShapeCachePartialInvalidation: changing one leaf recomputes only
+// that leaf's root path; untouched subtrees hit.
+func TestShapeCachePartialInvalidation(t *testing.T) {
+	sc := NewShapeCache()
+	build := func(aw int64) Node {
+		a := leaf("a", [2]int64{aw, 30})
+		b := leaf("b", [2]int64{20, 20})
+		c := leaf("c", [2]int64{40, 5})
+		return NewCut(false, 2, NewCut(true, 3, a, b), c)
+	}
+	if _, err := OptimizeCached(build(10), Constraint{}, sc); err != nil {
+		t.Fatal(err)
+	}
+	h0, m0, _ := sc.Stats()
+	if _, err := OptimizeCached(build(12), Constraint{}, sc); err != nil {
+		t.Fatal(err)
+	}
+	h1, m1, _ := sc.Stats()
+	// Unchanged: leaves b and c. Changed: leaf a, inner cut, root cut.
+	if h1-h0 != 2 {
+		t.Fatalf("expected 2 hits on the unchanged leaves, got %d", h1-h0)
+	}
+	if m1-m0 != 3 {
+		t.Fatalf("expected 3 misses on a's root path, got %d", m1-m0)
+	}
+}
+
+func TestSignatureDistinguishes(t *testing.T) {
+	base, ok := Signature(cacheTestTree())
+	if !ok || base == "" {
+		t.Fatal("no signature for canonical tree")
+	}
+	variants := []Node{
+		// Different leaf geometry.
+		NewCut(false, 2, NewCut(true, 3, leaf("a", [2]int64{11, 30}, [2]int64{30, 10}),
+			leaf("b", [2]int64{20, 20})), leaf("c", [2]int64{40, 5}, [2]int64{5, 40})),
+		// Different gap.
+		NewCut(false, 3, NewCut(true, 3, leaf("a", [2]int64{10, 30}, [2]int64{30, 10}),
+			leaf("b", [2]int64{20, 20})), leaf("c", [2]int64{40, 5}, [2]int64{5, 40})),
+		// Different cut direction.
+		NewCut(true, 2, NewCut(true, 3, leaf("a", [2]int64{10, 30}, [2]int64{30, 10}),
+			leaf("b", [2]int64{20, 20})), leaf("c", [2]int64{40, 5}, [2]int64{5, 40})),
+		// Different leaf name.
+		NewCut(false, 2, NewCut(true, 3, leaf("a", [2]int64{10, 30}, [2]int64{30, 10}),
+			leaf("b", [2]int64{20, 20})), leaf("d", [2]int64{40, 5}, [2]int64{5, 40})),
+	}
+	for i, v := range variants {
+		sig, ok := Signature(v)
+		if !ok {
+			t.Fatalf("variant %d: no signature", i)
+		}
+		if sig == base {
+			t.Fatalf("variant %d collides with base", i)
+		}
+	}
+}
+
+// TestShapeCacheUnknownNodeBypasses: a custom Node implementation has no
+// canonical signature; it and every ancestor compute uncached, but the
+// result is still correct.
+func TestShapeCacheUnknownNodeBypasses(t *testing.T) {
+	custom := fakeNode{inner: leaf("x", [2]int64{20, 20})}
+	if _, ok := Signature(custom); ok {
+		t.Fatal("custom node got a signature")
+	}
+	root := NewCut(true, 0, leaf("a", [2]int64{10, 10}), custom)
+	if _, ok := Signature(root); ok {
+		t.Fatal("ancestor of custom node got a signature")
+	}
+	sc := NewShapeCache()
+	fp, err := OptimizeCached(root, Constraint{}, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.W != 30 || fp.H != 20 {
+		t.Fatalf("floorplan = %dx%d, want 30x20", fp.W, fp.H)
+	}
+	if _, _, size := sc.Stats(); size != 0 {
+		t.Fatalf("uncanonicalizable tree populated the cache: %d entries", size)
+	}
+	if h, m, s := (*ShapeCache)(nil).Stats(); h != 0 || m != 0 || s != 0 {
+		t.Fatal("nil cache reported stats")
+	}
+}
+
+func TestFloorplanArea(t *testing.T) {
+	fp, err := Optimize(leaf("m", [2]int64{2000, 3000}), Constraint{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fp.Area(); got != 6 {
+		t.Fatalf("area = %v um2, want 6", got)
+	}
+}

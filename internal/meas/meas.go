@@ -177,8 +177,11 @@ func (b *Bench) findOffset() (float64, *sim.OPResult, *sim.Engine, *circuit.Circ
 // acGainSweep measures DC gain, GBW and phase margin from the
 // differential AC response.
 func (b *Bench) acGainSweep(eng *sim.Engine, ckt *circuit.Circuit, op *sim.OPResult, p *sizing.Performance) error {
+	// One linearization at the bias point serves the DC-gain probe, the
+	// bracketing sweep and every bisection step below.
+	solver := eng.PrepareAC(op)
 	gainAt := func(freq float64) (complex128, error) {
-		res, err := eng.AC(op, []float64{freq})
+		res, err := solver.Solve([]float64{freq})
 		if err != nil {
 			return 0, err
 		}
@@ -192,7 +195,7 @@ func (b *Bench) acGainSweep(eng *sim.Engine, ckt *circuit.Circuit, op *sim.OPRes
 
 	// Bracket the unity crossing on a log sweep, then bisect.
 	freqs := sim.LogSpace(1e3, 3e9, 130)
-	res, err := eng.AC(op, freqs)
+	res, err := solver.Solve(freqs)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"loas/internal/device"
+)
+
+// TestMetricsEvalMemoCounters: the device-evaluation memo's hit/miss
+// counters are registered in the default observability registry and
+// surface on /metrics, and the totals move when a memo serves lookups.
+func TestMetricsEvalMemoCounters(t *testing.T) {
+	scrape := func(ts string) map[string]int64 {
+		resp, err := http.Get(ts + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := map[string]int64{}
+		re := regexp.MustCompile(`(?m)^(loas_eval_memo_(?:hits|misses)_total) (\d+)$`)
+		for _, m := range re.FindAllStringSubmatch(string(body), -1) {
+			v, err := strconv.ParseInt(m[2], 10, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[m[1]] = v
+		}
+		for _, want := range []string{
+			"# TYPE loas_eval_memo_hits_total counter",
+			"# TYPE loas_eval_memo_misses_total counter",
+		} {
+			if !strings.Contains(string(body), want) {
+				t.Fatalf("metrics missing %q", want)
+			}
+		}
+		return out
+	}
+
+	_, ts := newStubServer(t, Config{}, &stubBackend{})
+	before := scrape(ts.URL)
+
+	// One miss then one hit through a live memo (counters are
+	// process-wide; other tests may add more, so assert deltas as
+	// minimums).
+	memo := device.NewMemo(0)
+	key := memo.Key("serve-metrics-test", nil, 1, 2, 3)
+	for i := 0; i < 2; i++ {
+		if _, err := memo.Float(key, func() (float64, error) { return 1, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	after := scrape(ts.URL)
+	if d := after["loas_eval_memo_misses_total"] - before["loas_eval_memo_misses_total"]; d < 1 {
+		t.Fatalf("miss counter did not advance (delta %d)", d)
+	}
+	if d := after["loas_eval_memo_hits_total"] - before["loas_eval_memo_hits_total"]; d < 1 {
+		t.Fatalf("hit counter did not advance (delta %d)", d)
+	}
+}

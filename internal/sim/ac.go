@@ -193,19 +193,33 @@ func (r *ACResult) Volt(ckt *circuit.Circuit, node string) complex128 {
 	return r.V[i]
 }
 
-// AC runs a small-signal analysis at the operating point over the given
-// frequencies (Hz). The sources' ACMag/ACPhase fields define the
-// excitation.
-func (e *Engine) AC(op *OPResult, freqs []float64) ([]*ACResult, error) {
-	st := e.compileAC(op)
+// ACSolver is a compiled small-signal linearization at one operating
+// point. Compiling once and solving many frequency points skips the
+// per-call re-linearization (every MOSFET's central-difference partials
+// and capacitances) that AC pays on each invocation; the per-frequency
+// assembly and factorization are unchanged, so the phasors are
+// bit-identical to a fresh AC call at the same operating point.
+type ACSolver struct {
+	e  *Engine
+	st *acStamps
+}
+
+// PrepareAC linearizes the circuit at op once, for repeated Solve calls.
+func (e *Engine) PrepareAC(op *OPResult) *ACSolver {
+	return &ACSolver{e: e, st: e.compileAC(op)}
+}
+
+// Solve runs the compiled linearization over the given frequencies (Hz).
+func (s *ACSolver) Solve(freqs []float64) ([]*ACResult, error) {
+	e := s.e
 	out := make([]*ACResult, 0, len(freqs))
 	for _, f := range freqs {
-		y := st.assemble(2 * math.Pi * f)
+		y := s.st.assemble(2 * math.Pi * f)
 		lu, err := linalg.FactorComplex(y)
 		if err != nil {
 			return nil, fmt.Errorf("sim: AC matrix singular at %g Hz: %w", f, err)
 		}
-		x := lu.Solve(st.rhs)
+		x := lu.Solve(s.st.rhs)
 		r := &ACResult{Freq: f, V: make([]complex128, e.Ckt.NumNodes())}
 		for i := 1; i < e.Ckt.NumNodes(); i++ {
 			r.V[i] = x[e.nodeUnknown(i)]
@@ -213,6 +227,13 @@ func (e *Engine) AC(op *OPResult, freqs []float64) ([]*ACResult, error) {
 		out = append(out, r)
 	}
 	return out, nil
+}
+
+// AC runs a small-signal analysis at the operating point over the given
+// frequencies (Hz). The sources' ACMag/ACPhase fields define the
+// excitation.
+func (e *Engine) AC(op *OPResult, freqs []float64) ([]*ACResult, error) {
+	return e.PrepareAC(op).Solve(freqs)
 }
 
 // LogSpace returns n logarithmically spaced frequencies from f1 to f2.

@@ -78,7 +78,7 @@ func (r *OPResult) SupplyCurrent(name string) float64 {
 func mosPartials(m *circuit.MOSFET, vd, vg, vs, vb, temp float64) (id, dd, dg, ds, db float64) {
 	const h = 1e-6
 	f := func(vd, vg, vs, vb float64) float64 {
-		return m.Dev.Eval(vg, vd, vs, vb, temp).ID
+		return m.Dev.EvalID(vg, vd, vs, vb, temp)
 	}
 	id = f(vd, vg, vs, vb)
 	dd = (f(vd+h, vg, vs, vb) - f(vd-h, vg, vs, vb)) / (2 * h)

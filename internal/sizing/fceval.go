@@ -68,15 +68,19 @@ func EvalGBWPM(tech *techno.Tech, ckt *circuit.Circuit, out string, nodeset map[
 		return 0, 0, fmt.Errorf("sizing: evaluation OP: %w", err)
 	}
 
+	// One linearization serves the sweep and every bisection probe: the
+	// ~26 gainAt calls below used to re-derive the MOSFET partials each
+	// time, which profiling showed dominating the sizing evaluation.
+	solver := eng.PrepareAC(op)
 	gainAt := func(f float64) (complex128, error) {
-		res, err := eng.AC(op, []float64{f})
+		res, err := solver.Solve([]float64{f})
 		if err != nil {
 			return 0, err
 		}
 		return res[0].Volt(ckt, out), nil
 	}
 	freqs := sim.LogSpace(1e6, 3e9, 40)
-	res, err := eng.AC(op, freqs)
+	res, err := solver.Solve(freqs)
 	if err != nil {
 		return 0, 0, err
 	}
