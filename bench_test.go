@@ -32,6 +32,7 @@ import (
 	"loas/internal/circuit"
 	"loas/internal/core"
 	"loas/internal/device"
+	"loas/internal/layout"
 	"loas/internal/layout/cairo"
 	"loas/internal/layout/slicing"
 	"loas/internal/mc"
@@ -616,6 +617,75 @@ func BenchmarkLayoutPlanSessionWarm(b *testing.B) {
 	}
 	b.ReportMetric(p.Parasitics.AreaUM2, "area_um2")
 }
+
+// benchLayoutBackend runs one registered layout backend over one sized
+// topology — the registry-level rows-vs-slicing comparison. Cold plans
+// with no session; warm plans against a session primed by one prior
+// call, so the ratio is each backend's incremental-extraction win.
+// area_um2 and cap_fF are deterministic and land in the benchsnap
+// record as the per-backend quality A/B.
+func benchLayoutBackend(b *testing.B, topology, backendName string, warm bool) {
+	b.Helper()
+	tech := techno.Default060()
+	sp, err := sizing.Lookup(topology)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ps, _ := sizing.Case(3)
+	sized, err := sp.Size(tech, sp.DefaultSpec(), ps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := sized.Layout()
+	be, err := layout.Lookup(backendName)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var s *cairo.Session
+	if warm {
+		s = cairo.NewSession(true, true)
+		if _, err := be.Plan(tech, d, cairo.Constraint{}, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	var p *cairo.Plan
+	for i := 0; i < b.N; i++ {
+		p, err = be.Plan(tech, d, cairo.Constraint{}, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(p.Parasitics.AreaUM2, "area_um2")
+	b.ReportMetric(p.Parasitics.TotalCap()*1e15, "cap_fF")
+}
+
+func BenchmarkLayoutSlicingColdFiveT(b *testing.B) { benchLayoutBackend(b, "five-t", "slicing", false) }
+func BenchmarkLayoutSlicingWarmFiveT(b *testing.B) { benchLayoutBackend(b, "five-t", "slicing", true) }
+func BenchmarkLayoutRowsColdFiveT(b *testing.B)    { benchLayoutBackend(b, "five-t", "rows", false) }
+func BenchmarkLayoutRowsWarmFiveT(b *testing.B)    { benchLayoutBackend(b, "five-t", "rows", true) }
+
+func BenchmarkLayoutSlicingColdFoldedCascode(b *testing.B) {
+	benchLayoutBackend(b, "folded-cascode", "slicing", false)
+}
+func BenchmarkLayoutSlicingWarmFoldedCascode(b *testing.B) {
+	benchLayoutBackend(b, "folded-cascode", "slicing", true)
+}
+func BenchmarkLayoutRowsColdFoldedCascode(b *testing.B) {
+	benchLayoutBackend(b, "folded-cascode", "rows", false)
+}
+func BenchmarkLayoutRowsWarmFoldedCascode(b *testing.B) {
+	benchLayoutBackend(b, "folded-cascode", "rows", true)
+}
+
+func BenchmarkLayoutSlicingColdTwoStage(b *testing.B) {
+	benchLayoutBackend(b, "two-stage", "slicing", false)
+}
+func BenchmarkLayoutSlicingWarmTwoStage(b *testing.B) {
+	benchLayoutBackend(b, "two-stage", "slicing", true)
+}
+func BenchmarkLayoutRowsColdTwoStage(b *testing.B) { benchLayoutBackend(b, "two-stage", "rows", false) }
+func BenchmarkLayoutRowsWarmTwoStage(b *testing.B) { benchLayoutBackend(b, "two-stage", "rows", true) }
 
 // benchSlicingTree builds a synthetic 3-level slicing tree wide enough
 // that Stockmeyer combination dominates (8 leaves x 8 options).

@@ -1,5 +1,5 @@
 // benchsnap records a perf-trajectory snapshot: it runs the repo's
-// figure/table benchmark set once and writes BENCH_8.json mapping each
+// figure/table benchmark set once and writes BENCH_9.json mapping each
 // benchmark to its ns/op plus every custom metric the benchmark
 // reported (gbw_MHz, area_um2, layout_calls, ...). Custom metrics are
 // the reproduced paper quantities — deterministic across runs — so they
@@ -10,7 +10,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/benchsnap [-bench REGEX] [-o BENCH_8.json] [-dir .]
+//	go run ./cmd/benchsnap [-bench REGEX] [-o BENCH_9.json] [-dir .]
 package main
 
 import (
@@ -29,7 +29,10 @@ import (
 // contract; its ns/op is trajectory), the end-to-end cold-path pair
 // (Table1AllCases, ServeSynthesizeCold) and the per-stage cache
 // benchmarks whose cold/warm ratios attribute the cold-path speedup to
-// its four cache layers. The remaining serve and Monte-Carlo benches
+// its four cache layers. The Layout(Rows|Slicing)(Cold|Warm)* pairs are
+// the per-backend A/B: their area_um2/cap_fF metrics record which
+// layout style wins each topology, their cold/warm ratios each
+// backend's session reuse. The remaining serve and Monte-Carlo benches
 // are excluded by default: their value is the serial/parallel and
 // cold/hot *ratios*, which a single -benchtime 1x pass cannot measure
 // meaningfully.
@@ -40,7 +43,8 @@ const defaultBenchSet = "Fig2CapReduction|Fig3CurrentMirror|Table1Case[1-4]$" +
 	"|Table1AllCases$|ServeSynthesizeCold$" +
 	"|ModelCardEval$|ModelCardEvalID$|SizeBisectionCold|SizeBisectionMemoHit" +
 	"|LayoutPlanCold|LayoutPlanSessionWarm|ShapeFunctionCold|ShapeFunctionCached" +
-	"|MCSamplePerSolveRebuild|MCSampleBatched"
+	"|MCSamplePerSolveRebuild|MCSampleBatched" +
+	"|Layout(Rows|Slicing)(Cold|Warm)(FiveT|FoldedCascode|TwoStage)"
 
 // metric is one reported benchmark quantity.
 type metric struct {
@@ -64,7 +68,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("benchsnap", flag.ExitOnError)
 	pattern := fs.String("bench", defaultBenchSet, "benchmark regex to snapshot")
-	outPath := fs.String("o", "BENCH_8.json", "output file")
+	outPath := fs.String("o", "BENCH_9.json", "output file")
 	dir := fs.String("dir", ".", "package directory holding the benchmarks")
 	benchtime := fs.String("benchtime", "1x", "go test -benchtime value")
 	if err := fs.Parse(args); err != nil {

@@ -37,9 +37,11 @@ import (
 	"io"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"loas/internal/core"
+	"loas/internal/layout"
 	"loas/internal/layout/cairo"
 	"loas/internal/obs"
 	"loas/internal/repro"
@@ -97,6 +99,8 @@ func run(cmd string, args []string, out io.Writer) error {
 		return runSynth(tech, args, out)
 	case "topologies":
 		return runTopologies(out)
+	case "layouts":
+		return runLayouts(out)
 	case "mc":
 		return runMC(tech, args, out)
 	case "techeval":
@@ -135,7 +139,7 @@ func run(cmd string, args []string, out io.Writer) error {
 
 func usage() {
 	fmt.Fprintln(os.Stderr,
-		`usage: loas <fig2|fig3|table1|fig5|flow|netlist|synth|topologies|mc|techeval|twostage|converge|trace|corners|serve|batch|explore|runs|show|tail> [flags]`)
+		`usage: loas <fig2|fig3|table1|fig5|flow|netlist|synth|topologies|layouts|mc|techeval|twostage|converge|trace|corners|serve|batch|explore|runs|show|tail> [flags]`)
 }
 
 // topoSpec resolves a -topology flag value to its canonical plan name
@@ -390,6 +394,7 @@ func runFig5(tech *techno.Tech, spec sizing.OTASpec, args []string, out io.Write
 func runSynth(tech *techno.Tech, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("synth", flag.ExitOnError)
 	topology := fs.String("topology", "", "design plan to synthesize (default folded-cascode; see `loas topologies`)")
+	layoutName := fs.String("layout", "", "layout backend for the placement/routing stage (default slicing; see `loas layouts`)")
 	caseN := fs.Int("case", 4, "parasitic-awareness case (1-4)")
 	maxCalls := fs.Int("maxcalls", 8, "layout-call bound of the convergence loop")
 	skipVerify := fs.Bool("skipverify", false, "skip the extracted-netlist measurement")
@@ -408,6 +413,16 @@ func runSynth(tech *techno.Tech, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	// Canonicalize the backend name, with the default elided like the
+	// daemon's request normalization, so ledger records and JSON output
+	// match loasd byte for byte.
+	layName, err := layout.CanonicalName(*layoutName)
+	if err != nil {
+		return err
+	}
+	if layName == layout.DefaultBackend {
+		layName = ""
+	}
 
 	// With -ledger, the run is recorded exactly like a daemon run —
 	// span tree, iterations, outcome — with Source "cli", into the same
@@ -425,12 +440,16 @@ func runSynth(tech *techno.Tech, args []string, out io.Writer) error {
 		root = recorder.Root("request")
 		root.SetAttr("kind", "synthesize")
 		root.SetAttr("topology", name)
+		if layName != "" {
+			root.SetAttr("layout", layName)
+		}
 		root.SetAttr("case", strconv.Itoa(*caseN))
 	}
 	start := time.Now()
 	res, err := core.Synthesize(tech, spec, core.Options{
 		Topology:       name,
 		Case:           *caseN,
+		Layout:         layName,
 		MaxLayoutCalls: *maxCalls,
 		SkipVerify:     *skipVerify,
 		Span:           root,
@@ -450,6 +469,7 @@ func runSynth(tech *techno.Tech, args []string, out io.Writer) error {
 			Source:      "cli",
 			Kind:        "synthesize",
 			Topology:    name,
+			Layout:      layName,
 			Case:        *caseN,
 			Outcome:     "ok",
 			DurationNS:  root.Duration().Nanoseconds(),
@@ -478,8 +498,12 @@ func runSynth(tech *techno.Tech, args []string, out io.Writer) error {
 			Iterations []obs.Iteration `json:"iterations"`
 		}{s, res.Trace})
 	}
-	fmt.Fprintf(out, "%s case %d: %d layout calls, %d sizing passes (%s)\n",
-		res.Topology, *caseN, res.LayoutCalls, res.SizingPasses, res.Elapsed.Round(1e6))
+	backendTag := ""
+	if layName != "" {
+		backendTag = " [" + layName + "]"
+	}
+	fmt.Fprintf(out, "%s%s case %d: %d layout calls, %d sizing passes (%s)\n",
+		res.Topology, backendTag, *caseN, res.LayoutCalls, res.SizingPasses, res.Elapsed.Round(1e6))
 	for _, row := range sizing.RowNames() {
 		fmt.Fprintln(out, "  "+res.Synthesized.Row(row, res.Extracted))
 	}
@@ -519,6 +543,25 @@ func runTopologies(out io.Writer) error {
 			mark = "*"
 		}
 		fmt.Fprintf(out, "%s %-16s %s\n", mark, name, plan.Description)
+	}
+	fmt.Fprintln(out, "(* = default)")
+	return nil
+}
+
+// runLayouts lists the registered layout backends with their capability
+// descriptors (`loas layouts`; same registry behind GET /v1/layouts).
+func runLayouts(out io.Writer) error {
+	for _, info := range layout.Backends() {
+		mark := " "
+		if info.Name == layout.DefaultBackend {
+			mark = "*"
+		}
+		session := "no session cache"
+		if info.CacheSession {
+			session = "session cache"
+		}
+		fmt.Fprintf(out, "%s %-10s %s\n", mark, info.Name, info.Description)
+		fmt.Fprintf(out, "  constraints: %s; %s\n", strings.Join(info.Constraints, ", "), session)
 	}
 	fmt.Fprintln(out, "(* = default)")
 	return nil

@@ -12,7 +12,9 @@
 //	loasd -addr 127.0.0.1:8086 &
 //	curl -s -X POST http://127.0.0.1:8086/v1/table1 | head
 //	curl -s http://127.0.0.1:8086/v1/topologies
+//	curl -s http://127.0.0.1:8086/v1/layouts
 //	curl -s http://127.0.0.1:8086/v1/synthesize -d '{"topology":"two-stage"}'
+//	curl -s http://127.0.0.1:8086/v1/synthesize -d '{"topology":"two-stage","layout":"rows"}'
 //	curl -s http://127.0.0.1:8086/v1/batch -d '{"items":[{"case":1},{"case":2},{"case":1}]}'
 //	curl -s http://127.0.0.1:8086/v1/explore -d '{"axes":{"gbw":[4e7,6.5e7]},"case":1}'
 //	curl -s 'http://127.0.0.1:8086/v1/runs?kind=batch'

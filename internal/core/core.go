@@ -17,8 +17,10 @@ import (
 
 	"loas/internal/circuit"
 	"loas/internal/device"
+	"loas/internal/layout"
 	"loas/internal/layout/cairo"
 	"loas/internal/layout/extract"
+	_ "loas/internal/layout/rows" // register the row-based backend
 	"loas/internal/meas"
 	"loas/internal/obs"
 	"loas/internal/sizing"
@@ -39,8 +41,13 @@ type Options struct {
 	// (default 1 fF — 0.03% of the 3 pF load, far below any
 	// performance-relevant delta).
 	ConvergeTolF float64
-	// Shape is the global layout shape constraint handed to CAIRO.
+	// Shape is the global layout shape constraint handed to the layout
+	// backend.
 	Shape cairo.Constraint
+	// Layout names the registered layout backend that serves the
+	// placement/routing stage ("" means the default slicing-tree
+	// generator, keeping existing callers bit-identical).
+	Layout string
 	// SkipVerify skips the extracted-netlist measurement (used by
 	// benchmarks that only exercise the loop).
 	SkipVerify bool
@@ -66,9 +73,10 @@ type Options struct {
 
 	// memo and session carry the per-run caches; Synthesize creates them
 	// according to Caches, and refinement rounds share them through the
-	// options copy.
+	// options copy. backend is the resolved layout backend.
 	memo    *device.Memo
 	session *cairo.Session
+	backend layout.Backend
 }
 
 // CacheOptions turns cold-path cache layers off, one by one. All layers
@@ -110,6 +118,9 @@ func (o *Options) defaults() {
 type Result struct {
 	// Topology is the canonical name of the plan that ran.
 	Topology string
+	// LayoutBackend is the canonical name of the layout backend that
+	// served the placement/routing stage.
+	LayoutBackend string
 	// Spec is the specification the plan was sized against.
 	Spec       sizing.OTASpec
 	Design     sizing.Design
@@ -164,6 +175,11 @@ func Synthesize(tech *techno.Tech, spec sizing.OTASpec, opts Options) (*Result, 
 	opts.session = cairo.NewSession(
 		!opts.Caches.DisableIncrementalExtract,
 		!opts.Caches.DisableShapeCache)
+	var err error
+	opts.backend, err = layout.Lookup(opts.Layout)
+	if err != nil {
+		return nil, err
+	}
 	if opts.Refine.Enabled {
 		return synthesizeRefined(tech, spec, opts)
 	}
@@ -184,10 +200,15 @@ func synthesizeOnce(tech *techno.Tech, spec sizing.OTASpec, opts Options, round 
 		return nil, err
 	}
 	ps.Memo = opts.memo
+	if opts.backend == nil {
+		if opts.backend, err = layout.Lookup(opts.Layout); err != nil {
+			return nil, err
+		}
+	}
 	obs.Default.Counter("loas_synth_runs_"+metricName(plan.Name)+"_total",
 		"Synthesis runs for topology "+plan.Name+".").Inc()
 
-	res := &Result{Topology: plan.Name, Spec: spec}
+	res := &Result{Topology: plan.Name, LayoutBackend: opts.backend.Info().Name, Spec: spec}
 	var par *extract.Parasitics
 	var design sizing.Design
 	usesLayoutInfo := ps.Junction == extract.JunctionExact || ps.Routing
@@ -208,7 +229,7 @@ func synthesizeOnce(tech *techno.Tech, spec sizing.OTASpec, opts Options, round 
 
 		laySpan := itSpan.Child("layout-extract")
 		layoutStart := time.Now()
-		lay, err := design.Layout().PlanSession(tech, opts.Shape, opts.session)
+		lay, err := opts.backend.Plan(tech, design.Layout(), opts.Shape, opts.session)
 		if err != nil {
 			return nil, fmt.Errorf("core: layout call %d: %w", call, err)
 		}

@@ -46,8 +46,8 @@ func fingerprint(t *testing.T, res *Result) string {
 	t.Helper()
 	var b strings.Builder
 	s := res.Summary()
-	fmt.Fprintf(&b, "topology=%s layout_calls=%d sizing_passes=%d\n",
-		s.Topology, s.LayoutCalls, s.SizingPasses)
+	fmt.Fprintf(&b, "topology=%s layout=%s layout_calls=%d sizing_passes=%d\n",
+		s.Topology, s.Layout, s.LayoutCalls, s.SizingPasses)
 	fpPerf(&b, "synthesized", s.Synthesized)
 	fpPerf(&b, "extracted", s.Extracted)
 	fmt.Fprintf(&b, "floorplan: w=%s h=%s area=%s\n", hx(s.WidthUM), hx(s.HeightUM), hx(s.AreaUM2))
@@ -183,6 +183,36 @@ func TestDifferentialCachesRefined(t *testing.T) {
 				})
 				if err != nil {
 					t.Fatalf("refine %s: %v", topo, err)
+				}
+				return fingerprint(t, res)
+			}
+			diffFingerprints(t, run(cachesOff), run(CacheOptions{}))
+		})
+	}
+}
+
+// TestDifferentialCachesRowsBackend pins bit identity of the one-shot
+// flow under the row-based layout backend for every registered topology
+// — the cache layers must be bit-invisible for every backend, not just
+// the default slicing generator.
+func TestDifferentialCachesRowsBackend(t *testing.T) {
+	tech := techno.Default060()
+	for _, topo := range sizing.Topologies() {
+		topo := topo
+		t.Run(topo, func(t *testing.T) {
+			t.Parallel()
+			plan, err := sizing.Lookup(topo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec := plan.DefaultSpec()
+			run := func(c CacheOptions) string {
+				res, err := Synthesize(tech, spec, Options{Topology: topo, Layout: "rows", Caches: c})
+				if err != nil {
+					t.Fatalf("synthesize %s under rows: %v", topo, err)
+				}
+				if res.LayoutBackend != "rows" {
+					t.Fatalf("result backend %q, want rows", res.LayoutBackend)
 				}
 				return fingerprint(t, res)
 			}

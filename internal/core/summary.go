@@ -1,6 +1,9 @@
 package core
 
-import "loas/internal/sizing"
+import (
+	"loas/internal/layout"
+	"loas/internal/sizing"
+)
 
 // Summary is the serializable projection of a Result: everything a
 // downstream consumer (the loasd daemon, `loas -json`, a dashboard)
@@ -8,8 +11,12 @@ import "loas/internal/sizing"
 // The JSON tags define the wire format shared by the CLI and the
 // server.
 type Summary struct {
-	Topology     string             `json:"topology,omitempty"`
-	Case         int                `json:"case,omitempty"`
+	Topology string `json:"topology,omitempty"`
+	Case     int    `json:"case,omitempty"`
+	// Layout names the layout backend that produced the geometry.
+	// Present only for non-default backends, keeping the default
+	// backend's wire format byte-identical to the pre-registry engine.
+	Layout       string             `json:"layout,omitempty"`
 	Synthesized  sizing.Performance `json:"synthesized"`
 	Extracted    sizing.Performance `json:"extracted"`
 	LayoutCalls  int                `json:"layout_calls"`
@@ -34,6 +41,9 @@ func (r *Result) Summary() Summary {
 		SizingPasses: r.SizingPasses,
 		ElapsedMS:    float64(r.Elapsed.Nanoseconds()) / 1e6,
 		Refine:       r.Refine,
+	}
+	if r.LayoutBackend != "" && r.LayoutBackend != layout.DefaultBackend {
+		s.Layout = r.LayoutBackend
 	}
 	if r.Parasitics != nil {
 		s.WidthUM = r.Parasitics.WidthUM

@@ -103,10 +103,11 @@ func (d *Design) slicingNode(tech *techno.Tech, t *Tree, cache *buildCache, s *S
 	return slicing.NewCut(t.Vertical, t.GapNM, children...), nil
 }
 
-// channelNeedNM sizes the routing channels from the net count: one
+// ChannelNeedNM sizes the routing channels from the net count: one
 // metal-2 track per net plus slack, so trunk stacking never overflows
-// into a module row.
-func (d *Design) channelNeedNM(tech *techno.Tech) int64 {
+// into a module row. Every backend that routes this design should open
+// channels at least this tall.
+func (d *Design) ChannelNeedNM(tech *techno.Tech) int64 {
 	pitch := tech.Rules.Metal2Width + tech.Rules.Metal2Space
 	return int64(len(d.Nets)+2)*pitch + 2*tech.Rules.Metal2Space
 }
@@ -144,7 +145,7 @@ func (d *Design) Plan(tech *techno.Tech, c Constraint) (*Plan, error) {
 func (d *Design) PlanSession(tech *techno.Tech, c Constraint, s *Session) (*Plan, error) {
 	layoutPlans.Inc()
 	cache := &buildCache{byModule: map[string]map[int]*Built{}}
-	need := d.channelNeedNM(tech)
+	need := d.ChannelNeedNM(tech)
 	root, err := d.slicingNode(tech, widenGaps(d.Tree, need), cache, s)
 	if err != nil {
 		return nil, err

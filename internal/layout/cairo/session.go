@@ -27,8 +27,17 @@ import (
 	"loas/internal/layout/geom"
 	"loas/internal/layout/route"
 	"loas/internal/layout/slicing"
+	"loas/internal/obs"
 	"loas/internal/techno"
 )
+
+// sessionBypasses counts cache bypasses caused by a Plan call under a
+// different technology than the one the session is pinned to. Each
+// bypassed build/route/shape lookup increments once; a non-zero value
+// means a session is being shared across technologies and caching
+// nothing — previously a silent slow path.
+var sessionBypasses = obs.Default.Counter("loas_layout_session_bypass_total",
+	"layout session cache bypasses due to a technology mismatch")
 
 // Session carries layout caches across Plan calls. Safe for concurrent
 // use, but keyed to the first *techno.Tech it sees: a Plan call with a
@@ -107,7 +116,11 @@ func (s *Session) bindTech(tech *techno.Tech) bool {
 	if s.tech == nil {
 		s.tech = tech
 	}
-	return s.tech == tech
+	if s.tech != tech {
+		sessionBypasses.Inc()
+		return false
+	}
+	return true
 }
 
 // sigWriter accumulates exact cache-key fragments.
@@ -209,6 +222,20 @@ func moduleSig(m Module) (sig string, ok bool) {
 		return "", false
 	}
 	return w.b.String(), true
+}
+
+// Build realizes one module choice through the session's build cache.
+// It is the module-realization entry point for alternative layout
+// backends (e.g. the row placer); a nil session builds uncached.
+func (s *Session) Build(tech *techno.Tech, m Module, choice int) (*Built, error) {
+	return s.build(tech, m, choice)
+}
+
+// RouteCached routes the cell through the session's route-replay cache;
+// a nil session routes uncached. Exported for alternative layout
+// backends, which reuse the channel router and its caching verbatim.
+func (s *Session) RouteCached(tech *techno.Tech, cell *geom.Cell, nets []route.Net, channels []route.YRange) (*route.Result, error) {
+	return s.routeCached(tech, cell, nets, channels)
 }
 
 // build realizes one module choice through the cache. Built values are

@@ -36,7 +36,10 @@ type RunRecord struct {
 	// batch | explore.
 	Kind     string `json:"kind"`
 	Topology string `json:"topology,omitempty"`
-	Case     int    `json:"case,omitempty"`
+	// Layout names the layout backend that served the run's
+	// placement/routing stage; empty for the default (slicing).
+	Layout string `json:"layout,omitempty"`
+	Case   int    `json:"case,omitempty"`
 	// Parent links a child run (one batch item, one explore probe) back
 	// to the batch/explore run that spawned it. Empty for top-level runs.
 	Parent string `json:"parent,omitempty"`

@@ -1,0 +1,130 @@
+package repro
+
+import (
+	"fmt"
+	"sort"
+
+	"loas/internal/core"
+	"loas/internal/layout"
+	"loas/internal/sizing"
+	"loas/internal/techno"
+)
+
+// The layout A/B golden pins the rows-vs-slicing comparison: for every
+// registered topology, both backends run the full case-4 sizing↔layout
+// loop to convergence, and the converged extracted parasitics and
+// geometry are recorded bit-exactly. This is the per-backend parasitic
+// A/B the registry exists to ask — which layout style yields the best
+// parasitics for a given topology — frozen so neither backend can
+// drift without a visible diff.
+
+// LayoutABEntry is one (topology, backend) cell of the comparison.
+type LayoutABEntry struct {
+	Topology    string `json:"topology"`
+	Layout      string `json:"layout"`
+	LayoutCalls int    `json:"layout_calls"`
+	// Converged extracted parasitics, hex-exact.
+	TotalCapF string            `json:"total_cap_f"`
+	NetCapF   map[string]string `json:"net_cap_f"`
+	WidthUM   string            `json:"width_um"`
+	HeightUM  string            `json:"height_um"`
+	AreaUM2   string            `json:"area_um2"`
+}
+
+// LayoutABReport is the committed testdata/layout_ab_golden.json schema.
+type LayoutABReport struct {
+	Tech    string          `json:"tech"`
+	Entries []LayoutABEntry `json:"entries"` // topology asc, then layout asc
+}
+
+// BuildLayoutAB runs every registered topology under every registered
+// layout backend (case 4, default spec, verification skipped — the
+// comparison is about parasitics and geometry, not simulation).
+func BuildLayoutAB(tech *techno.Tech) (*LayoutABReport, error) {
+	rep := &LayoutABReport{Tech: tech.Name}
+	for _, topo := range sizing.Topologies() {
+		plan, err := sizing.Lookup(topo)
+		if err != nil {
+			return nil, err
+		}
+		for _, info := range layout.Backends() {
+			res, err := core.Synthesize(tech, plan.DefaultSpec(), core.Options{
+				Topology:   topo,
+				Case:       4,
+				Layout:     info.Name,
+				SkipVerify: true,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("repro: %s under %s: %w", topo, info.Name, err)
+			}
+			par := res.Parasitics
+			e := LayoutABEntry{
+				Topology:    topo,
+				Layout:      info.Name,
+				LayoutCalls: res.LayoutCalls,
+				TotalCapF:   hexF(par.TotalCap()),
+				NetCapF:     map[string]string{},
+				WidthUM:     hexF(par.WidthUM),
+				HeightUM:    hexF(par.HeightUM),
+				AreaUM2:     hexF(par.AreaUM2),
+			}
+			for net, c := range par.NetCap {
+				e.NetCapF[net] = hexF(c)
+			}
+			rep.Entries = append(rep.Entries, e)
+		}
+	}
+	sort.Slice(rep.Entries, func(i, j int) bool {
+		if rep.Entries[i].Topology != rep.Entries[j].Topology {
+			return rep.Entries[i].Topology < rep.Entries[j].Topology
+		}
+		return rep.Entries[i].Layout < rep.Entries[j].Layout
+	})
+	return rep, nil
+}
+
+// DiffLayoutAB compares a live A/B report against the committed one,
+// one line per mismatch (empty = bit-identical).
+func DiffLayoutAB(want, got *LayoutABReport) []string {
+	var bad []string
+	add := func(format string, args ...interface{}) {
+		bad = append(bad, fmt.Sprintf(format, args...))
+	}
+	if want.Tech != got.Tech {
+		add("tech: want %s, got %s", want.Tech, got.Tech)
+	}
+	if len(want.Entries) != len(got.Entries) {
+		add("entry count: want %d, got %d", len(want.Entries), len(got.Entries))
+		return bad
+	}
+	for i := range want.Entries {
+		w, g := want.Entries[i], got.Entries[i]
+		pfx := fmt.Sprintf("%s/%s", w.Topology, w.Layout)
+		if w.Topology != g.Topology || w.Layout != g.Layout {
+			add("%s: entry order mismatch (got %s/%s)", pfx, g.Topology, g.Layout)
+			continue
+		}
+		if w.LayoutCalls != g.LayoutCalls {
+			add("%s.layout_calls: want %d, got %d", pfx, w.LayoutCalls, g.LayoutCalls)
+		}
+		for name, field := range map[string][2]string{
+			"total_cap_f": {w.TotalCapF, g.TotalCapF},
+			"width_um":    {w.WidthUM, g.WidthUM},
+			"height_um":   {w.HeightUM, g.HeightUM},
+			"area_um2":    {w.AreaUM2, g.AreaUM2},
+		} {
+			if field[0] != field[1] {
+				add("%s.%s: want %s, got %s", pfx, name, field[0], field[1])
+			}
+		}
+		for _, net := range sortedStrKeys(w.NetCapF) {
+			if g.NetCapF[net] != w.NetCapF[net] {
+				add("%s.net_cap_f.%s: want %s, got %s", pfx, net, w.NetCapF[net], g.NetCapF[net])
+			}
+		}
+		if len(g.NetCapF) != len(w.NetCapF) {
+			add("%s: net count: want %d, got %d", pfx, len(w.NetCapF), len(g.NetCapF))
+		}
+	}
+	return bad
+}

@@ -1,0 +1,82 @@
+package repro
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"loas/internal/techno"
+)
+
+const layoutABPath = "testdata/layout_ab_golden.json"
+
+// TestLayoutABGolden diffs a live rows-vs-slicing comparison — every
+// registered topology under every registered layout backend — against
+// the committed bit-exact golden. A diff under "slicing" means the
+// default flow changed (which the table1/refine goldens will also
+// flag); a diff under "rows" means the row placer's candidate set,
+// scoring, or geometry changed. Re-bless after an intentional change:
+//
+//	go test ./internal/repro -run TestLayoutABGolden -update
+func TestLayoutABGolden(t *testing.T) {
+	got, err := BuildLayoutAB(techno.Default060())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(layoutABPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(layoutABPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", layoutABPath)
+		return
+	}
+
+	data, err := os.ReadFile(layoutABPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	var want LayoutABReport
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("corrupt golden file: %v", err)
+	}
+	if diffs := DiffLayoutAB(&want, got); len(diffs) > 0 {
+		t.Fatalf("live layout A/B diverges from %s in %d field(s):\n  %s\n(re-bless with -update if intentional)",
+			layoutABPath, len(diffs), strings.Join(diffs, "\n  "))
+	}
+}
+
+// TestLayoutABRoundTrip: encoding survives JSON and the differ detects
+// perturbations.
+func TestLayoutABRoundTrip(t *testing.T) {
+	rep, err := BuildLayoutAB(techno.Default060())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back LayoutABReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if diffs := DiffLayoutAB(rep, &back); len(diffs) > 0 {
+		t.Fatalf("round trip not identity: %v", diffs)
+	}
+
+	back.Entries[0].AreaUM2 = hexF(1.0)
+	back.Entries[1].LayoutCalls++
+	if diffs := DiffLayoutAB(rep, &back); len(diffs) != 2 {
+		t.Fatalf("differ missed perturbations: %v", diffs)
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"loas/internal/circuit"
 	"loas/internal/core"
+	"loas/internal/layout"
 	"loas/internal/mc"
 	"loas/internal/obs"
 	"loas/internal/repro"
@@ -21,6 +22,7 @@ import (
 type SynthesizeRequest struct {
 	Topology       string          `json:"topology,omitempty"` // registered plan name, default folded-cascode
 	Case           int             `json:"case,omitempty"`     // 1-4, default 4
+	Layout         string          `json:"layout,omitempty"`   // registered layout backend, default slicing
 	Spec           *sizing.OTASpec `json:"spec,omitempty"`
 	MaxLayoutCalls int             `json:"max_layout_calls,omitempty"`
 	SkipVerify     bool            `json:"skip_verify,omitempty"`
@@ -39,6 +41,17 @@ func (r *SynthesizeRequest) normalize() error {
 	// Canonicalize before keying: an absent topology and the explicit
 	// default hash to the same cache entry.
 	r.Topology = plan.Name
+	// Same for the layout backend, with the default elided rather than
+	// spelled out — the default backend's wire format (request echoes,
+	// summaries) predates the registry and must stay byte-identical.
+	lay, err := layout.CanonicalName(r.Layout)
+	if err != nil {
+		return err
+	}
+	if lay == layout.DefaultBackend {
+		lay = ""
+	}
+	r.Layout = lay
 	if r.Case == 0 {
 		r.Case = 4
 	}
@@ -75,6 +88,10 @@ func (r *SynthesizeRequest) normalize() error {
 func (r *SynthesizeRequest) cacheKey(tech *techno.Tech, spec sizing.OTASpec) string {
 	k := newKey("synthesize", tech)
 	k.str("topology", r.Topology)
+	// "" is the canonical spelling of the default backend, so an absent
+	// layout and an explicit "slicing" share one entry while every other
+	// backend gets its own.
+	k.str("layout", r.Layout)
 	k.spec(spec)
 	k.int("case", int64(r.Case))
 	k.int("maxcalls", int64(r.MaxLayoutCalls))
@@ -188,6 +205,7 @@ func (b *StdBackend) Synthesize(ctx context.Context, spec sizing.OTASpec, req *S
 	res, err := core.Synthesize(b.Tech, spec, core.Options{
 		Topology:       req.Topology,
 		Case:           req.Case,
+		Layout:         req.Layout,
 		MaxLayoutCalls: req.MaxLayoutCalls,
 		SkipVerify:     req.SkipVerify,
 		Span:           obs.SpanFromContext(ctx),

@@ -33,6 +33,14 @@ import (
 // BatchRequest is the body of POST /v1/batch.
 type BatchRequest struct {
 	Items []sizingItem `json:"items"`
+	// Limit and Offset paginate the report's Results window: Offset
+	// skips that many leading results, Limit bounds how many are
+	// returned (0 = unbounded). Every item still executes — pagination
+	// trims the response body, not the workload — and the deterministic
+	// submission order is preserved, so walking pages covers each result
+	// exactly once. Items/Unique/Errors always describe the full batch.
+	Limit  int `json:"limit,omitempty"`
+	Offset int `json:"offset,omitempty"`
 }
 
 // sizingItem aliases SynthesizeRequest so the batch body reads
@@ -43,6 +51,7 @@ type sizingItem = SynthesizeRequest
 type BatchItemResult struct {
 	Index    int    `json:"index"`
 	Topology string `json:"topology"`
+	Layout   string `json:"layout,omitempty"` // non-default layout backend
 	Case     int    `json:"case"`
 	Key      string `json:"key"`    // content-addressed item key
 	RunID    string `json:"run_id"` // child run (GET /v1/runs/{id})
@@ -56,11 +65,15 @@ type BatchItemResult struct {
 
 // BatchReport is the POST /v1/batch payload.
 type BatchReport struct {
-	Key     string            `json:"key"`    // canonical batch key
-	Items   int               `json:"items"`  // submitted
-	Unique  int               `json:"unique"` // distinct item keys
-	Errors  int               `json:"errors,omitempty"`
-	Results []BatchItemResult `json:"results"` // submission order
+	Key    string `json:"key"`    // canonical batch key
+	Items  int    `json:"items"`  // submitted
+	Unique int    `json:"unique"` // distinct item keys
+	Errors int    `json:"errors,omitempty"`
+	// Offset and Limit echo the request's pagination window (absent when
+	// unpaginated, keeping the unpaginated wire format unchanged).
+	Offset  int               `json:"offset,omitempty"`
+	Limit   int               `json:"limit,omitempty"`
+	Results []BatchItemResult `json:"results"` // submission order, windowed
 }
 
 // batchItem is one normalized, spec-resolved item ready to execute.
@@ -103,6 +116,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(req.Items) > s.batchMax {
 		s.badRequest(w, fmt.Errorf("batch of %d items exceeds the %d-item bound", len(req.Items), s.batchMax))
+		return
+	}
+	if req.Limit < 0 || req.Offset < 0 {
+		s.badRequest(w, fmt.Errorf("limit and offset must be >= 0, got limit=%d offset=%d", req.Limit, req.Offset))
 		return
 	}
 	items := make([]batchItem, len(req.Items))
@@ -164,9 +181,22 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		outcome = outcomeError
 		runErr = fmt.Errorf("%d of %d items failed", errs, len(items))
 	}
+	// Pagination windows the response only: every item above executed
+	// (and is cached / ledgered) regardless of the window.
+	window := results
+	if req.Offset > 0 {
+		if req.Offset >= len(window) {
+			window = window[len(window):]
+		} else {
+			window = window[req.Offset:]
+		}
+	}
+	if req.Limit > 0 && req.Limit < len(window) {
+		window = window[:req.Limit]
+	}
 	rep := BatchReport{
 		Key: info.key, Items: len(items), Unique: len(unique),
-		Errors: errs, Results: results,
+		Errors: errs, Offset: req.Offset, Limit: req.Limit, Results: window,
 	}
 	body, err := marshalJSON(rep)
 	if err != nil {
@@ -187,7 +217,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // Item failures are report data, not batch failures.
 func (s *Server) runBatchItem(parentID string, i int, it batchItem) BatchItemResult {
 	info := runInfo{
-		kind: "synthesize", topology: it.req.Topology, caseN: it.req.Case,
+		kind: "synthesize", topology: it.req.Topology, layout: it.req.Layout, caseN: it.req.Case,
 		key: it.key, specDigest: specDigest(s.tech, it.spec), parent: parentID,
 	}
 	child := s.beginRun(info, time.Now())
@@ -201,7 +231,7 @@ func (s *Server) runBatchItem(parentID string, i int, it batchItem) BatchItemRes
 			return body, err
 		})
 	res := BatchItemResult{
-		Index: i, Topology: it.req.Topology, Case: it.req.Case,
+		Index: i, Topology: it.req.Topology, Layout: it.req.Layout, Case: it.req.Case,
 		Key: it.key, RunID: child.id,
 	}
 	if err != nil {

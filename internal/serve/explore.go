@@ -12,6 +12,7 @@ import (
 
 	"loas/internal/core"
 	"loas/internal/explore"
+	"loas/internal/layout"
 	"loas/internal/parallel"
 	"loas/internal/sizing"
 	"loas/internal/techno"
@@ -52,6 +53,10 @@ type ExploreRequest struct {
 	// Case is each probe's parasitic-awareness level (default 4).
 	Case           int `json:"case,omitempty"`
 	MaxLayoutCalls int `json:"max_layout_calls,omitempty"`
+	// Layout names the layout backend every probe runs under (default
+	// slicing) — exploring the same grid under "rows" vs "slicing" is
+	// the per-backend parasitic A/B this field exists for.
+	Layout string `json:"layout,omitempty"`
 }
 
 func (r *ExploreRequest) normalize() error {
@@ -98,6 +103,16 @@ func (r *ExploreRequest) normalize() error {
 	if r.MaxLayoutCalls < 0 {
 		return fmt.Errorf("max_layout_calls must be >= 0, got %d", r.MaxLayoutCalls)
 	}
+	// Same canonicalization as SynthesizeRequest: resolved name, default
+	// elided, so the pre-registry wire format is unchanged.
+	lay, err := layout.CanonicalName(r.Layout)
+	if err != nil {
+		return err
+	}
+	if lay == layout.DefaultBackend {
+		lay = ""
+	}
+	r.Layout = lay
 	if r.Mode == "grid" {
 		// Budget and step are inert outside guided mode; zero them so
 		// both spellings share one cache entry (same canonicalization
@@ -127,6 +142,7 @@ func (r *ExploreRequest) normalize() error {
 func (r *ExploreRequest) cacheKey(tech *techno.Tech, bases []sizing.OTASpec) string {
 	k := newKey("explore", tech)
 	k.str("mode", r.Mode)
+	k.str("layout", r.Layout)
 	k.int("budget", int64(r.Budget))
 	k.num("step", r.Step)
 	k.int("case", int64(r.Case))
@@ -158,11 +174,13 @@ type TopologyFront struct {
 
 // ExploreReport is the POST /v1/explore payload.
 type ExploreReport struct {
-	Mode    string          `json:"mode"`
-	Axes    explore.Axes    `json:"axes"`
-	Budget  int             `json:"budget,omitempty"`
-	Step    float64         `json:"step,omitempty"`
-	Case    int             `json:"case"`
+	Mode   string       `json:"mode"`
+	Axes   explore.Axes `json:"axes"`
+	Budget int          `json:"budget,omitempty"`
+	Step   float64      `json:"step,omitempty"`
+	Case   int          `json:"case"`
+	// Layout names the probes' layout backend; absent for the default.
+	Layout  string          `json:"layout,omitempty"`
 	Results []TopologyFront `json:"results"` // topology name order
 }
 
@@ -190,7 +208,7 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	evRequests.Add(1)
 	s.exploreRequests.Inc()
-	info := runInfo{kind: "explore", key: req.cacheKey(s.tech, bases)}
+	info := runInfo{kind: "explore", layout: req.Layout, key: req.cacheKey(s.tech, bases)}
 	if len(req.Topologies) == 1 {
 		info.topology = req.Topologies[0]
 	}
@@ -241,10 +259,10 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 // per topology, probes fanning through the shared pool as child runs.
 func (s *Server) runExplore(ctx context.Context, ar *activeRun, req *ExploreRequest, bases []sizing.OTASpec) ([]byte, error) {
 	s.events.publish("batch-start", batchStartEvent{ID: ar.id, Kind: "explore"})
-	p := &poolProber{s: s, parent: ar, caseN: req.Case, maxCalls: req.MaxLayoutCalls}
+	p := &poolProber{s: s, parent: ar, caseN: req.Case, maxCalls: req.MaxLayoutCalls, layout: req.Layout}
 	rep := ExploreReport{
 		Mode: req.Mode, Axes: req.Axes,
-		Budget: req.Budget, Step: req.Step, Case: req.Case,
+		Budget: req.Budget, Step: req.Step, Case: req.Case, Layout: req.Layout,
 	}
 	workers := s.pool.Stats().Workers
 	for i, topo := range req.Topologies {
@@ -297,18 +315,19 @@ type poolProber struct {
 	parent   *activeRun
 	caseN    int
 	maxCalls int
+	layout   string
 	done     atomic.Int64 // completed probes, for /v1/events frames
 }
 
 func (p *poolProber) Probe(_ context.Context, topology string, spec sizing.OTASpec) (explore.Metrics, bool, string, error) {
 	s := p.s
-	req := SynthesizeRequest{Topology: topology, Case: p.caseN, MaxLayoutCalls: p.maxCalls}
+	req := SynthesizeRequest{Topology: topology, Case: p.caseN, MaxLayoutCalls: p.maxCalls, Layout: p.layout}
 	if err := req.normalize(); err != nil {
 		return explore.Metrics{}, false, "", err
 	}
 	key := req.cacheKey(s.tech, spec)
 	info := runInfo{
-		kind: "synthesize", topology: topology, caseN: req.Case,
+		kind: "synthesize", topology: topology, caseN: req.Case, layout: req.Layout,
 		key: key, specDigest: specDigest(s.tech, spec), parent: p.parent.id,
 	}
 	child := s.beginRun(info, time.Now())

@@ -1,0 +1,182 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestEndToEndLayoutBackends is the layout-registry acceptance path on
+// the real engine: GET /v1/layouts lists both backends, the same spec
+// under the absent / explicit-"slicing" / "rows" spellings keys the
+// cache correctly (absent ≡ slicing share one entry, rows gets its
+// own), the rows summary carries the non-default backend tag, and
+// /v1/runs can filter on it.
+func TestEndToEndLayoutBackends(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end layout test runs real synthesis")
+	}
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() { ts.Close(); srv.Close() }()
+
+	var lrep LayoutsReport
+	getJSON(t, ts.URL+"/v1/layouts", &lrep)
+	if lrep.Default != "slicing" {
+		t.Fatalf("default layout = %q, want slicing", lrep.Default)
+	}
+	names := map[string]bool{}
+	for _, info := range lrep.Layouts {
+		names[info.Name] = true
+		if info.Description == "" || len(info.Constraints) == 0 {
+			t.Fatalf("backend %q undescribed: %+v", info.Name, info)
+		}
+	}
+	if !names["slicing"] || !names["rows"] {
+		t.Fatalf("layout listing = %+v, want slicing and rows", lrep.Layouts)
+	}
+
+	// Absent layout: the default backend, cold.
+	r1, b1 := post(t, ts.URL+"/v1/synthesize", `{"topology":"five-t","case":4,"skip_verify":true}`)
+	if r1.StatusCode != 200 || r1.Header.Get("X-Loas-Cache") != "miss" {
+		t.Fatalf("cold default run: status %d, cache %q: %s",
+			r1.StatusCode, r1.Header.Get("X-Loas-Cache"), b1)
+	}
+	defKey := r1.Header.Get("X-Loas-Key")
+
+	// Explicit "slicing" normalizes to the same request: same key, byte
+	// replay from the entry the absent spelling populated.
+	r2, b2 := post(t, ts.URL+"/v1/synthesize", `{"topology":"five-t","case":4,"skip_verify":true,"layout":"slicing"}`)
+	if h := r2.Header.Get("X-Loas-Cache"); h != "hit" {
+		t.Fatalf("explicit slicing X-Loas-Cache = %q, want hit", h)
+	}
+	if r2.Header.Get("X-Loas-Key") != defKey || !bytes.Equal(b1, b2) {
+		t.Fatal("explicit slicing is not a byte replay of the absent spelling")
+	}
+	if bytes.Contains(b1, []byte(`"layout"`)) {
+		t.Fatalf("default-backend summary leaks a layout tag: %s", b1)
+	}
+
+	// "rows" is a distinct workload: its own key, its own cold run, and a
+	// summary tagged with the non-default backend.
+	r3, b3 := post(t, ts.URL+"/v1/synthesize", `{"topology":"five-t","case":4,"skip_verify":true,"layout":"rows"}`)
+	if r3.StatusCode != 200 || r3.Header.Get("X-Loas-Cache") != "miss" {
+		t.Fatalf("cold rows run: status %d, cache %q: %s",
+			r3.StatusCode, r3.Header.Get("X-Loas-Cache"), b3)
+	}
+	rowsKey := r3.Header.Get("X-Loas-Key")
+	if rowsKey == defKey {
+		t.Fatal("rows request produced the slicing cache key")
+	}
+	var rowsSum struct {
+		Layout      string `json:"layout"`
+		LayoutCalls int    `json:"layout_calls"`
+	}
+	if err := json.Unmarshal(b3, &rowsSum); err != nil {
+		t.Fatal(err)
+	}
+	if rowsSum.Layout != "rows" || rowsSum.LayoutCalls < 1 {
+		t.Fatalf("rows summary = %+v", rowsSum)
+	}
+
+	// Replay of the rows spelling hits its own entry.
+	r4, b4 := post(t, ts.URL+"/v1/synthesize", `{"topology":"five-t","case":4,"skip_verify":true,"layout":"rows"}`)
+	if r4.Header.Get("X-Loas-Cache") != "hit" || r4.Header.Get("X-Loas-Key") != rowsKey || !bytes.Equal(b3, b4) {
+		t.Fatal("rows cache hit is not a byte replay under the rows key")
+	}
+
+	// An unknown backend is rejected up front.
+	rBad, bBad := post(t, ts.URL+"/v1/synthesize", `{"layout":"herringbone"}`)
+	if rBad.StatusCode != 400 {
+		t.Fatalf("unknown layout: status %d (%s), want 400", rBad.StatusCode, bBad)
+	}
+
+	// The run listing filters on the backend: exactly one rows run (the
+	// cold one; the replay is a cache-hit run tagged the same way).
+	var rruns RunsReport
+	getJSON(t, ts.URL+"/v1/runs?layout=rows", &rruns)
+	if len(rruns.Runs) != 2 {
+		t.Fatalf("layout=rows runs = %+v, want the cold run and its replay", rruns.Runs)
+	}
+	for _, rs := range rruns.Runs {
+		if rs.Layout != "rows" {
+			t.Fatalf("filtered run not tagged rows: %+v", rs)
+		}
+	}
+}
+
+// TestEndToEndBatchPagination: limit/offset window the batch report's
+// results without changing the workload — every item executes, the
+// totals describe the full batch, and walking pages covers each result
+// exactly once in submission order.
+func TestEndToEndBatchPagination(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end batch pagination test runs real synthesis")
+	}
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() { ts.Close(); srv.Close() }()
+
+	const body = `[{"case":1,"skip_verify":true},{"case":2,"skip_verify":true},{"case":1,"skip_verify":true},{"case":3,"skip_verify":true},{"case":2,"skip_verify":true}]`
+
+	page := func(limit, offset int) BatchReport {
+		t.Helper()
+		req := struct {
+			Items  json.RawMessage `json:"items"`
+			Limit  int             `json:"limit,omitempty"`
+			Offset int             `json:"offset,omitempty"`
+		}{Items: json.RawMessage(body), Limit: limit, Offset: offset}
+		data, _ := json.Marshal(req)
+		resp, raw := post(t, ts.URL+"/v1/batch", string(data))
+		if resp.StatusCode != 200 {
+			t.Fatalf("batch limit=%d offset=%d: status %d: %s", limit, offset, resp.StatusCode, raw)
+		}
+		var rep BatchReport
+		if err := json.Unmarshal(raw, &rep); err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+
+	full := page(0, 0)
+	if full.Items != 5 || full.Unique != 3 || len(full.Results) != 5 {
+		t.Fatalf("unpaginated report = %d items / %d unique / %d results", full.Items, full.Unique, len(full.Results))
+	}
+
+	// Walk the same batch in pages of 2: totals still describe all 5
+	// items, and the concatenated windows are the full result sequence.
+	var indices []int
+	for off := 0; off < full.Items; off += 2 {
+		rep := page(2, off)
+		if rep.Items != 5 || rep.Unique != 3 {
+			t.Fatalf("page at offset %d reports %d items / %d unique, want full-batch totals", off, rep.Items, rep.Unique)
+		}
+		if rep.Key != full.Key {
+			t.Fatalf("page at offset %d has key %s, want the batch key %s", off, rep.Key, full.Key)
+		}
+		for _, r := range rep.Results {
+			indices = append(indices, r.Index)
+		}
+	}
+	if len(indices) != 5 {
+		t.Fatalf("pages covered %d results, want 5: %v", len(indices), indices)
+	}
+	for i, idx := range indices {
+		if idx != i {
+			t.Fatalf("paged walk out of order: %v", indices)
+		}
+	}
+
+	// Offset past the end: empty window, full-batch totals.
+	past := page(0, 100)
+	if len(past.Results) != 0 || past.Items != 5 {
+		t.Fatalf("past-the-end page = %d results / %d items", len(past.Results), past.Items)
+	}
+
+	// Negative pagination is rejected.
+	resp, raw := post(t, ts.URL+"/v1/batch", `{"items":[{"case":1}],"limit":-1}`)
+	if resp.StatusCode != 400 {
+		t.Fatalf("negative limit: status %d (%s), want 400", resp.StatusCode, raw)
+	}
+}

@@ -29,6 +29,7 @@ const (
 type runInfo struct {
 	kind       string // synthesize | table1 | mc | layout.svg | batch | explore
 	topology   string
+	layout     string // non-default layout backend, "" for slicing
 	caseN      int
 	key        string // content-addressed cache key
 	specDigest string
@@ -63,6 +64,9 @@ func (s *Server) beginRun(info runInfo, start time.Time) *activeRun {
 	if info.topology != "" {
 		ar.root.SetAttr("topology", info.topology)
 	}
+	if info.layout != "" {
+		ar.root.SetAttr("layout", info.layout)
+	}
 	if info.caseN != 0 {
 		ar.root.SetAttr("case", strconv.Itoa(info.caseN))
 	}
@@ -88,6 +92,7 @@ func (s *Server) finishRun(ar *activeRun, outcome string, err error, bodyBytes i
 		Source:      "daemon",
 		Kind:        ar.info.kind,
 		Topology:    ar.info.topology,
+		Layout:      ar.info.layout,
 		Case:        ar.info.caseN,
 		Parent:      ar.info.parent,
 		CacheKey:    ar.info.key,
@@ -158,6 +163,7 @@ func (rs *runStore) len() int {
 // runFilter is the /v1/runs query surface.
 type runFilter struct {
 	topology  string
+	layout    string
 	kind      string
 	outcome   string
 	parent    string
@@ -179,6 +185,9 @@ func (rs *runStore) list(f runFilter) []*obs.RunRecord {
 	out := make([]*obs.RunRecord, 0, len(recs))
 	for _, r := range recs {
 		if f.topology != "" && r.Topology != f.topology {
+			continue
+		}
+		if f.layout != "" && r.Layout != f.layout {
 			continue
 		}
 		if f.kind != "" && r.Kind != f.kind {
@@ -213,6 +222,7 @@ type RunSummary struct {
 	Source      string `json:"source"`
 	Kind        string `json:"kind"`
 	Topology    string `json:"topology,omitempty"`
+	Layout      string `json:"layout,omitempty"`
 	Case        int    `json:"case,omitempty"`
 	Parent      string `json:"parent,omitempty"`
 	Outcome     string `json:"outcome"`
@@ -227,7 +237,7 @@ type RunSummary struct {
 func summarize(r *obs.RunRecord) RunSummary {
 	return RunSummary{
 		ID: r.ID, Seq: r.Seq, StartUnixNS: r.StartUnixNS, Source: r.Source,
-		Kind: r.Kind, Topology: r.Topology, Case: r.Case, Parent: r.Parent, Outcome: r.Outcome,
+		Kind: r.Kind, Topology: r.Topology, Layout: r.Layout, Case: r.Case, Parent: r.Parent, Outcome: r.Outcome,
 		Error: r.Error, DurationNS: r.DurationNS, Converged: r.Converged,
 		LayoutCalls: r.LayoutCalls, Spans: len(r.Spans), Iterations: len(r.Iterations),
 	}
@@ -239,7 +249,8 @@ type RunsReport struct {
 	Runs  []RunSummary `json:"runs"`  // newest first, after filters
 }
 
-// handleRuns lists recent runs. Query parameters: topology, kind
+// handleRuns lists recent runs. Query parameters: topology, layout
+// (non-default layout backend name), kind
 // (synthesize|table1|mc|layout.svg|batch|explore), outcome, parent
 // (batch/explore run ID whose children to list), converged
 // (true|false), min_duration (Go duration, e.g. 150ms), limit
@@ -250,6 +261,7 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	f := runFilter{
 		topology: q.Get("topology"),
+		layout:   q.Get("layout"),
 		kind:     q.Get("kind"),
 		outcome:  q.Get("outcome"),
 		parent:   q.Get("parent"),

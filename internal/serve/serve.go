@@ -14,6 +14,7 @@
 //	POST /v1/batch        many specs, one request     → BatchReport JSON
 //	POST /v1/explore      spec-grid / guided search   → ExploreReport JSON
 //	GET  /v1/topologies   registered design plans     → TopologiesReport JSON
+//	GET  /v1/layouts      registered layout backends  → LayoutsReport JSON
 //	GET  /v1/layout.svg   case-4 generate-mode layout → SVG
 //	GET  /v1/trace/{key}  convergence trace of a synthesis → TraceReport JSON
 //	GET  /v1/runs         recent run history (filterable)  → RunsReport JSON
@@ -41,6 +42,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"loas/internal/layout"
 	"loas/internal/obs"
 	"loas/internal/parallel"
 	"loas/internal/sizing"
@@ -179,6 +181,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/explore", s.handleExplore)
 	s.mux.HandleFunc("GET /v1/topologies", s.handleTopologies)
+	s.mux.HandleFunc("GET /v1/layouts", s.handleLayouts)
 	s.mux.HandleFunc("GET /v1/layout.svg", s.handleLayoutSVG)
 	s.mux.HandleFunc("GET /v1/trace/{key}", s.handleTraceKey)
 	s.mux.HandleFunc("GET /v1/runs", s.handleRuns)
@@ -262,7 +265,7 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 	}
 	key := req.cacheKey(s.tech, spec)
 	info := runInfo{kind: "synthesize", topology: req.Topology, caseN: req.Case,
-		key: key, specDigest: specDigest(s.tech, spec)}
+		layout: req.Layout, key: key, specDigest: specDigest(s.tech, spec)}
 	s.respond(w, info, "application/json",
 		func(ctx context.Context) ([]byte, error) {
 			body, iters, err := s.backend.Synthesize(ctx, spec, &req)
@@ -354,6 +357,29 @@ func (s *Server) handleTopologies(w http.ResponseWriter, _ *http.Request) {
 	body, err := marshalJSON(TopologiesReport{
 		Default:    sizing.DefaultTopology,
 		Topologies: sizing.Topologies(),
+	})
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+	s.served.Add(1)
+}
+
+// LayoutsReport is the GET /v1/layouts payload: every registered layout
+// backend's capability descriptor.
+type LayoutsReport struct {
+	Default string        `json:"default"`
+	Layouts []layout.Info `json:"layouts"`
+}
+
+func (s *Server) handleLayouts(w http.ResponseWriter, _ *http.Request) {
+	s.requests.Add(1)
+	evRequests.Add(1)
+	body, err := marshalJSON(LayoutsReport{
+		Default: layout.DefaultBackend,
+		Layouts: layout.Backends(),
 	})
 	if err != nil {
 		s.fail(w, err)
