@@ -47,3 +47,9 @@ go test -race -run '^$' -fuzz FuzzBatchCanonicalKey -fuzztime 5s ./internal/serv
 # Fuzz the run-ledger decoder: arbitrary bytes must never panic the
 # reader, and valid records must round-trip byte-identically.
 go test -race -run '^$' -fuzz FuzzLedgerDecode -fuzztime 5s ./internal/obs
+
+# Perf-trajectory lane: the committed benchmark snapshots must agree on
+# every hex-exact custom metric — those are reproduced paper quantities,
+# and a single-ULP drift between snapshots fails the diff (nonzero
+# exit). ns/op differences are machine noise and only reported.
+go run ./cmd/benchsnap diff BENCH_8.json BENCH_9.json

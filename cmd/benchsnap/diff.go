@@ -1,0 +1,237 @@
+// `benchsnap diff` compares two BENCH_N.json snapshots and reports the
+// perf trajectory between them. The two halves of a snapshot carry two
+// different contracts and the diff enforces them differently:
+//
+//   - custom metrics (gbw_MHz, area_um2, layout_calls, ...) are the
+//     reproduced paper quantities, recorded hex-exact. Any change, even
+//     one ULP, is a behaviour change and BLOCKS (nonzero exit);
+//   - ns/op is wall-clock and noisy: regressions beyond -tol are
+//     reported as trajectory, and block only with -strict-nsop.
+//
+// Benchmarks or metrics present on one side only are reported but never
+// block — the set legitimately grows PR over PR.
+
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+)
+
+// metricChange is one hex-exact metric that drifted (blocking).
+type metricChange struct {
+	Bench    string  `json:"bench"`
+	Metric   string  `json:"metric"`
+	OldValue float64 `json:"old_value"`
+	NewValue float64 `json:"new_value"`
+	OldHex   string  `json:"old_hex"`
+	NewHex   string  `json:"new_hex"`
+}
+
+// nsopChange is one benchmark whose ns/op moved beyond the tolerance.
+type nsopChange struct {
+	Bench string  `json:"bench"`
+	OldNs float64 `json:"old_ns_op"`
+	NewNs float64 `json:"new_ns_op"`
+	Ratio float64 `json:"ratio"` // new/old
+}
+
+// diffReport is the full comparison outcome.
+type diffReport struct {
+	Old          string         `json:"old"`
+	New          string         `json:"new"`
+	Compared     int            `json:"compared"` // benchmarks present in both
+	Tolerance    float64        `json:"tolerance"`
+	MetricDrift  []metricChange `json:"metric_drift,omitempty"` // blocking
+	Regressions  []nsopChange   `json:"nsop_regressions,omitempty"`
+	Improvements []nsopChange   `json:"nsop_improvements,omitempty"`
+	AddedBenches []string       `json:"added_benches,omitempty"`
+	GoneBenches  []string       `json:"removed_benches,omitempty"`
+	AddedMetrics []string       `json:"added_metrics,omitempty"` // "bench/metric"
+	GoneMetrics  []string       `json:"removed_metrics,omitempty"`
+}
+
+func runDiff(args []string) error {
+	fs := flag.NewFlagSet("benchsnap diff", flag.ExitOnError)
+	tol := fs.Float64("tol", 0.25, "relative ns/op tolerance (0.25 = flag regressions over +25%)")
+	strictNsOp := fs.Bool("strict-nsop", false, "ns/op regressions beyond -tol also block (nonzero exit)")
+	asJSON := fs.Bool("json", false, "emit the diff report as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: benchsnap diff [-tol F] [-strict-nsop] [-json] OLD.json NEW.json")
+	}
+	if *tol < 0 {
+		return fmt.Errorf("-tol must be >= 0, got %g", *tol)
+	}
+	oldPath, newPath := fs.Arg(0), fs.Arg(1)
+	oldSnap, err := loadSnapshot(oldPath)
+	if err != nil {
+		return err
+	}
+	newSnap, err := loadSnapshot(newPath)
+	if err != nil {
+		return err
+	}
+
+	rep := compareSnapshots(oldPath, newPath, oldSnap, newSnap, *tol)
+
+	if *asJSON {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+	} else {
+		printDiff(rep)
+	}
+	if len(rep.MetricDrift) > 0 {
+		return fmt.Errorf("%d hex-exact metric(s) drifted between %s and %s", len(rep.MetricDrift), oldPath, newPath)
+	}
+	if *strictNsOp && len(rep.Regressions) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%% ns/op tolerance", len(rep.Regressions), *tol*100)
+	}
+	return nil
+}
+
+// loadSnapshot reads one BENCH_N.json and validates its schema: every
+// metric's hex form must parse and round-trip to the decimal value —
+// a snapshot that fails this was hand-edited or truncated, and diffing
+// it would report nonsense.
+func loadSnapshot(path string) (map[string]benchResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap map[string]benchResult
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(snap) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks in snapshot", path)
+	}
+	for bench, res := range snap {
+		for name, m := range res.Metrics {
+			v, err := strconv.ParseFloat(m.Hex, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %s/%s: bad hex float %q: %v", path, bench, name, m.Hex, err)
+			}
+			if v != m.Value {
+				return nil, fmt.Errorf("%s: %s/%s: hex %q decodes to %v, decimal says %v — snapshot corrupt",
+					path, bench, name, m.Hex, v, m.Value)
+			}
+		}
+	}
+	return snap, nil
+}
+
+func compareSnapshots(oldPath, newPath string, oldSnap, newSnap map[string]benchResult, tol float64) *diffReport {
+	rep := &diffReport{Old: oldPath, New: newPath, Tolerance: tol}
+	names := make([]string, 0, len(oldSnap))
+	for n := range oldSnap {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, bench := range names {
+		o := oldSnap[bench]
+		n, ok := newSnap[bench]
+		if !ok {
+			rep.GoneBenches = append(rep.GoneBenches, bench)
+			continue
+		}
+		rep.Compared++
+
+		mnames := make([]string, 0, len(o.Metrics))
+		for m := range o.Metrics {
+			mnames = append(mnames, m)
+		}
+		sort.Strings(mnames)
+		for _, m := range mnames {
+			om := o.Metrics[m]
+			nm, ok := n.Metrics[m]
+			if !ok {
+				rep.GoneMetrics = append(rep.GoneMetrics, bench+"/"+m)
+				continue
+			}
+			if om.Hex != nm.Hex {
+				rep.MetricDrift = append(rep.MetricDrift, metricChange{
+					Bench: bench, Metric: m,
+					OldValue: om.Value, NewValue: nm.Value,
+					OldHex: om.Hex, NewHex: nm.Hex,
+				})
+			}
+		}
+		newMetrics := make([]string, 0, len(n.Metrics))
+		for m := range n.Metrics {
+			if _, ok := o.Metrics[m]; !ok {
+				newMetrics = append(newMetrics, bench+"/"+m)
+			}
+		}
+		sort.Strings(newMetrics)
+		rep.AddedMetrics = append(rep.AddedMetrics, newMetrics...)
+
+		if o.NsPerOp > 0 && n.NsPerOp > 0 {
+			ratio := n.NsPerOp / o.NsPerOp
+			switch {
+			case ratio > 1+tol:
+				rep.Regressions = append(rep.Regressions, nsopChange{
+					Bench: bench, OldNs: o.NsPerOp, NewNs: n.NsPerOp, Ratio: ratio})
+			case ratio < 1-tol:
+				rep.Improvements = append(rep.Improvements, nsopChange{
+					Bench: bench, OldNs: o.NsPerOp, NewNs: n.NsPerOp, Ratio: ratio})
+			}
+		}
+	}
+	added := make([]string, 0)
+	for n := range newSnap {
+		if _, ok := oldSnap[n]; !ok {
+			added = append(added, n)
+		}
+	}
+	sort.Strings(added)
+	rep.AddedBenches = added
+	return rep
+}
+
+func printDiff(rep *diffReport) {
+	fmt.Printf("benchsnap diff: %s -> %s (%d benchmarks compared, ns/op tolerance ±%.0f%%)\n",
+		rep.Old, rep.New, rep.Compared, rep.Tolerance*100)
+	if len(rep.MetricDrift) > 0 {
+		fmt.Printf("\nBLOCKING: %d hex-exact metric(s) drifted — reproduced quantities changed:\n", len(rep.MetricDrift))
+		for _, c := range rep.MetricDrift {
+			fmt.Printf("  %s %s: %v -> %v  (hex %s -> %s)\n",
+				c.Bench, c.Metric, c.OldValue, c.NewValue, c.OldHex, c.NewHex)
+		}
+	} else {
+		fmt.Println("hex-exact metrics: all identical")
+	}
+	if len(rep.Regressions) > 0 {
+		fmt.Printf("\nns/op regressions beyond tolerance (%d):\n", len(rep.Regressions))
+		for _, c := range rep.Regressions {
+			fmt.Printf("  %s: %.0f -> %.0f ns/op (%.2fx)\n", c.Bench, c.OldNs, c.NewNs, c.Ratio)
+		}
+	}
+	if len(rep.Improvements) > 0 {
+		fmt.Printf("\nns/op improvements beyond tolerance (%d):\n", len(rep.Improvements))
+		for _, c := range rep.Improvements {
+			fmt.Printf("  %s: %.0f -> %.0f ns/op (%.2fx)\n", c.Bench, c.OldNs, c.NewNs, c.Ratio)
+		}
+	}
+	for _, s := range rep.AddedBenches {
+		fmt.Printf("  new benchmark: %s\n", s)
+	}
+	for _, s := range rep.GoneBenches {
+		fmt.Printf("  removed benchmark: %s\n", s)
+	}
+	for _, s := range rep.AddedMetrics {
+		fmt.Printf("  new metric: %s\n", s)
+	}
+	for _, s := range rep.GoneMetrics {
+		fmt.Printf("  removed metric: %s\n", s)
+	}
+}

@@ -1,0 +1,202 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func hexOf(v float64) string { return strconv.FormatFloat(v, 'x', -1, 64) }
+
+func writeSnap(t *testing.T, dir, name string, snap map[string]benchResult) string {
+	t.Helper()
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func baseSnap() map[string]benchResult {
+	return map[string]benchResult{
+		"Fig5Layout": {NsPerOp: 1000, Metrics: map[string]metric{
+			"area_um2":     {Value: 10169, Hex: hexOf(10169)},
+			"layout_calls": {Value: 6, Hex: hexOf(6)},
+		}},
+		"Table1Case1": {NsPerOp: 2000, Metrics: map[string]metric{
+			"gbw_MHz": {Value: 66.5, Hex: hexOf(66.5)},
+		}},
+	}
+}
+
+func TestCompareSnapshotsCleanDiff(t *testing.T) {
+	rep := compareSnapshots("a", "b", baseSnap(), baseSnap(), 0.25)
+	if len(rep.MetricDrift) != 0 || len(rep.Regressions) != 0 || len(rep.Improvements) != 0 {
+		t.Fatalf("identical snapshots produced a diff: %+v", rep)
+	}
+	if rep.Compared != 2 {
+		t.Fatalf("compared %d, want 2", rep.Compared)
+	}
+}
+
+func TestCompareSnapshotsMetricDriftBlocks(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeSnap(t, dir, "old.json", baseSnap())
+	newer := baseSnap()
+	// One-ULP drift: invisible in short decimal, fatal in hex.
+	drifted := 10169.000000000002
+	newer["Fig5Layout"].Metrics["area_um2"] = metric{Value: drifted, Hex: hexOf(drifted)}
+	newPath := writeSnap(t, dir, "new.json", newer)
+
+	err := runDiff([]string{oldPath, newPath})
+	if err == nil || !strings.Contains(err.Error(), "hex-exact metric(s) drifted") {
+		t.Fatalf("one-ULP drift must block: %v", err)
+	}
+
+	rep := compareSnapshots("a", "b", baseSnap(), newer, 0.25)
+	if len(rep.MetricDrift) != 1 || rep.MetricDrift[0].Metric != "area_um2" {
+		t.Fatalf("drift report: %+v", rep.MetricDrift)
+	}
+}
+
+func TestCompareSnapshotsNsOpTolerance(t *testing.T) {
+	newer := baseSnap()
+	f5 := newer["Fig5Layout"]
+	f5.NsPerOp = 1300 // +30%: beyond the 25% tolerance
+	newer["Fig5Layout"] = f5
+	t1 := newer["Table1Case1"]
+	t1.NsPerOp = 1400 // -30%: improvement beyond tolerance
+	newer["Table1Case1"] = t1
+
+	rep := compareSnapshots("a", "b", baseSnap(), newer, 0.25)
+	if len(rep.MetricDrift) != 0 {
+		t.Fatalf("ns/op moves must not count as metric drift: %+v", rep.MetricDrift)
+	}
+	if len(rep.Regressions) != 1 || rep.Regressions[0].Bench != "Fig5Layout" {
+		t.Fatalf("regressions: %+v", rep.Regressions)
+	}
+	if len(rep.Improvements) != 1 || rep.Improvements[0].Bench != "Table1Case1" {
+		t.Fatalf("improvements: %+v", rep.Improvements)
+	}
+	// Within tolerance: silent.
+	within := baseSnap()
+	w := within["Fig5Layout"]
+	w.NsPerOp = 1100
+	within["Fig5Layout"] = w
+	rep = compareSnapshots("a", "b", baseSnap(), within, 0.25)
+	if len(rep.Regressions) != 0 {
+		t.Fatalf("+10%% flagged at 25%% tolerance: %+v", rep.Regressions)
+	}
+}
+
+func TestRunDiffStrictNsOp(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeSnap(t, dir, "old.json", baseSnap())
+	newer := baseSnap()
+	f5 := newer["Fig5Layout"]
+	f5.NsPerOp = 2000
+	newer["Fig5Layout"] = f5
+	newPath := writeSnap(t, dir, "new.json", newer)
+
+	// Default: regressions are trajectory, not failures.
+	if err := runDiff([]string{oldPath, newPath}); err != nil {
+		t.Fatalf("ns/op regression blocked without -strict-nsop: %v", err)
+	}
+	err := runDiff([]string{"-strict-nsop", oldPath, newPath})
+	if err == nil || !strings.Contains(err.Error(), "regressed beyond") {
+		t.Fatalf("-strict-nsop must block: %v", err)
+	}
+}
+
+func TestCompareSnapshotsAddedAndGone(t *testing.T) {
+	newer := baseSnap()
+	newer["NewBench"] = benchResult{NsPerOp: 10}
+	delete(newer, "Table1Case1")
+	f5 := newer["Fig5Layout"]
+	f5.Metrics = map[string]metric{
+		"area_um2": f5.Metrics["area_um2"],
+		"cap_fF":   {Value: 3.5, Hex: hexOf(3.5)},
+	}
+	newer["Fig5Layout"] = f5
+
+	rep := compareSnapshots("a", "b", baseSnap(), newer, 0.25)
+	if len(rep.AddedBenches) != 1 || rep.AddedBenches[0] != "NewBench" {
+		t.Fatalf("added: %+v", rep.AddedBenches)
+	}
+	if len(rep.GoneBenches) != 1 || rep.GoneBenches[0] != "Table1Case1" {
+		t.Fatalf("gone: %+v", rep.GoneBenches)
+	}
+	if len(rep.AddedMetrics) != 1 || rep.AddedMetrics[0] != "Fig5Layout/cap_fF" {
+		t.Fatalf("added metrics: %+v", rep.AddedMetrics)
+	}
+	if len(rep.GoneMetrics) != 1 || rep.GoneMetrics[0] != "Fig5Layout/layout_calls" {
+		t.Fatalf("gone metrics: %+v", rep.GoneMetrics)
+	}
+	if len(rep.MetricDrift) != 0 {
+		t.Fatalf("set growth must never block: %+v", rep.MetricDrift)
+	}
+}
+
+func TestLoadSnapshotRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+
+	// Hex disagrees with the decimal: hand-edited snapshot.
+	bad := baseSnap()
+	bad["Fig5Layout"].Metrics["area_um2"] = metric{Value: 10170, Hex: hexOf(10169)}
+	path := writeSnap(t, dir, "bad.json", bad)
+	if _, err := loadSnapshot(path); err == nil || !strings.Contains(err.Error(), "snapshot corrupt") {
+		t.Fatalf("hex/decimal disagreement must fail load: %v", err)
+	}
+
+	// Unparseable hex.
+	bad2 := baseSnap()
+	bad2["Fig5Layout"].Metrics["area_um2"] = metric{Value: 10169, Hex: "not-a-float"}
+	path2 := writeSnap(t, dir, "bad2.json", bad2)
+	if _, err := loadSnapshot(path2); err == nil || !strings.Contains(err.Error(), "bad hex float") {
+		t.Fatalf("bad hex must fail load: %v", err)
+	}
+
+	// Empty snapshot.
+	path3 := filepath.Join(dir, "empty.json")
+	os.WriteFile(path3, []byte("{}"), 0o644)
+	if _, err := loadSnapshot(path3); err == nil {
+		t.Fatal("empty snapshot must fail load")
+	}
+
+	if _, err := loadSnapshot(filepath.Join(dir, "absent.json")); err == nil {
+		t.Fatal("missing snapshot must fail load")
+	}
+}
+
+func TestRunDiffUsageErrors(t *testing.T) {
+	dir := t.TempDir()
+	p := writeSnap(t, dir, "one.json", baseSnap())
+	if err := runDiff([]string{p}); err == nil {
+		t.Fatal("one argument must be a usage error")
+	}
+	if err := runDiff([]string{"-tol", "-1", p, p}); err == nil {
+		t.Fatal("negative tolerance must be rejected")
+	}
+}
+
+// TestRunDiffCommittedSnapshots is the ci.sh perf lane in miniature:
+// the two snapshots committed at the repo root must diff clean on the
+// hex-exact metrics (ns/op differences are machine noise, reported but
+// never blocking without -strict-nsop).
+func TestRunDiffCommittedSnapshots(t *testing.T) {
+	for _, p := range []string{"../../BENCH_8.json", "../../BENCH_9.json"} {
+		if _, err := os.Stat(p); err != nil {
+			t.Skipf("snapshot %s not present: %v", p, err)
+		}
+	}
+	if err := runDiff([]string{"../../BENCH_8.json", "../../BENCH_9.json"}); err != nil {
+		t.Fatalf("committed snapshots disagree on reproduced quantities: %v", err)
+	}
+}

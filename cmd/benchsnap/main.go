@@ -11,6 +11,7 @@
 // Usage:
 //
 //	go run ./cmd/benchsnap [-bench REGEX] [-o BENCH_9.json] [-dir .]
+//	go run ./cmd/benchsnap diff [-tol F] [-strict-nsop] [-json] OLD.json NEW.json
 package main
 
 import (
@@ -66,6 +67,9 @@ func main() {
 }
 
 func run(args []string) error {
+	if len(args) > 0 && args[0] == "diff" {
+		return runDiff(args[1:])
+	}
 	fs := flag.NewFlagSet("benchsnap", flag.ExitOnError)
 	pattern := fs.String("bench", defaultBenchSet, "benchmark regex to snapshot")
 	outPath := fs.String("o", "BENCH_9.json", "output file")

@@ -23,6 +23,7 @@
 //	loas runs [-addr URL]      list the daemon's recent runs
 //	loas show <run-id>         one run's span tree + convergence trace
 //	loas tail [-addr URL]      follow the daemon's live run events (SSE)
+//	loas replay [-ledger file] [-addr URL] [-c N] [-rate R]  replay a recorded ledger as live load
 //
 // The -topology flag selects a registered design plan (see `loas
 // topologies`); the default is the paper's folded-cascode OTA.
@@ -132,6 +133,8 @@ func run(cmd string, args []string, out io.Writer) error {
 		return runShow(args, out)
 	case "tail":
 		return runTail(args, out)
+	case "replay":
+		return runReplay(args, out)
 	default:
 		return fmt.Errorf("%w: %q", errUnknownCommand, cmd)
 	}
@@ -139,7 +142,7 @@ func run(cmd string, args []string, out io.Writer) error {
 
 func usage() {
 	fmt.Fprintln(os.Stderr,
-		`usage: loas <fig2|fig3|table1|fig5|flow|netlist|synth|topologies|layouts|mc|techeval|twostage|converge|trace|corners|serve|batch|explore|runs|show|tail> [flags]`)
+		`usage: loas <fig2|fig3|table1|fig5|flow|netlist|synth|topologies|layouts|mc|techeval|twostage|converge|trace|corners|serve|batch|explore|runs|show|tail|replay> [flags]`)
 }
 
 // topoSpec resolves a -topology flag value to its canonical plan name

@@ -1,0 +1,193 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"loas/internal/obs"
+	"loas/internal/serve"
+)
+
+// startRecordingDaemon is startDaemon plus a run ledger, so replay
+// tests have a recorded workload to read back.
+func startRecordingDaemon(t *testing.T, ledgerPath string) string {
+	t.Helper()
+	ledger, err := obs.OpenLedger(ledgerPath, obs.LedgerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := serve.New(serve.Config{Backend: &cannedBackend{}, Ledger: ledger})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close(); ledger.Close() })
+	return ts.URL
+}
+
+// TestSmokeReplay: record a workload through the daemon's ledger, then
+// `loas replay` it back against the same (warm) daemon — all cache
+// hits, all byte-identical, exit zero.
+func TestSmokeReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	url := startRecordingDaemon(t, path)
+	for _, body := range []string{`{"case":1}`, `{"case":2}`, `{"case":1}`} {
+		if code, data := postJSON(t, url+"/v1/synthesize", body); code != 200 {
+			t.Fatalf("synthesize: %d %s", code, data)
+		}
+	}
+
+	out := runOut(t, "replay", "-ledger", path, "-addr", url)
+	for _, want := range []string{"replaying 3 requests", "replayed 3/3", "3 hit",
+		"identity: 3/3 responses byte-identical"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("replay output missing %q:\n%s", want, out)
+		}
+	}
+
+	// -kind filters, -n truncates.
+	out = runOut(t, "replay", "-ledger", path, "-addr", url, "-kind", "synthesize", "-n", "1")
+	if !strings.Contains(out, "replayed 1/1") {
+		t.Fatalf("-n 1 replayed more than one:\n%s", out)
+	}
+	if err := run("replay", []string{"-ledger", path, "-addr", url, "-kind", "mc"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("replay of a kind with no runs should fail")
+	}
+	if err := run("replay", []string{"-ledger", filepath.Join(t.TempDir(), "none.jsonl"), "-addr", url}, &bytes.Buffer{}); err == nil {
+		t.Fatal("replay of a missing ledger should fail")
+	}
+}
+
+// TestReplayDetectsDivergence: replaying one daemon's ledger against a
+// daemon in a different state (its canned call counter advanced) yields
+// different bytes — replay must report the mismatch and exit nonzero.
+func TestReplayDetectsDivergence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	url := startRecordingDaemon(t, path)
+	if code, _ := postJSON(t, url+"/v1/synthesize", `{"case":1}`); code != 200 {
+		t.Fatal("record failed")
+	}
+
+	other := startDaemon(t)
+	// Advance the fresh daemon's backend: its next cold body is call 2,
+	// not the recorded call 1.
+	if code, _ := postJSON(t, other+"/v1/synthesize", `{"case":4}`); code != 200 {
+		t.Fatal("prime failed")
+	}
+	var buf bytes.Buffer
+	err := run("replay", []string{"-ledger", path, "-addr", other}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "differ from the recorded results") {
+		t.Fatalf("want divergence error, got %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "MISMATCH") {
+		t.Fatalf("report missing mismatch detail:\n%s", buf.String())
+	}
+}
+
+// TestTailReconnect: a dropped /v1/events stream is reconnected with
+// backoff (tailSleep stubbed out), events continue counting across
+// connections, and -n still bounds the total.
+func TestTailReconnect(t *testing.T) {
+	var sleeps []time.Duration
+	orig := tailSleep
+	tailSleep = func(d time.Duration) { sleeps = append(sleeps, d) }
+	defer func() { tailSleep = orig }()
+
+	var conns atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/events" {
+			http.NotFound(w, r)
+			return
+		}
+		n := conns.Add(1)
+		w.Header().Set("Content-Type", "text/event-stream")
+		// One event per connection, then the stream drops.
+		fmt.Fprintf(w, "event: run-start\ndata: {\"id\":\"run-%06d\",\"kind\":\"synthesize\"}\n\n", n)
+	}))
+	defer srv.Close()
+
+	var buf bytes.Buffer
+	if err := run("tail", []string{"-addr", srv.URL, "-n", "3"}, &buf); err != nil {
+		t.Fatalf("tail: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if got := conns.Load(); got != 3 {
+		t.Fatalf("tail used %d connections, want 3 (one event each)", got)
+	}
+	for _, want := range []string{"run-000001", "run-000002", "run-000003", "reconnecting in"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("tail output missing %q:\n%s", want, out)
+		}
+	}
+	// Each connection delivered an event, so every backoff is the floor
+	// (delivery resets the exponential ramp).
+	if len(sleeps) != 2 {
+		t.Fatalf("slept %d times, want 2 (between 3 connections): %v", len(sleeps), sleeps)
+	}
+	for _, d := range sleeps {
+		if d != tailBackoffFloor {
+			t.Fatalf("backoff %v did not reset to the floor %v after events flowed", d, tailBackoffFloor)
+		}
+	}
+}
+
+// TestTailBackoffRampsWhenSilent: connections that close without
+// delivering anything double the backoff instead of hammering the
+// daemon.
+func TestTailBackoffRampsWhenSilent(t *testing.T) {
+	var sleeps []time.Duration
+	orig := tailSleep
+	stop := fmt.Errorf("enough")
+	tailSleep = func(d time.Duration) {
+		sleeps = append(sleeps, d)
+		if len(sleeps) >= 4 {
+			panic(stop) // break runTail's infinite loop
+		}
+	}
+	defer func() { tailSleep = orig }()
+
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		// Connect successfully, deliver nothing, drop.
+	}))
+	defer srv.Close()
+
+	func() {
+		defer func() {
+			if v := recover(); v != nil && v != stop {
+				panic(v)
+			}
+		}()
+		var buf bytes.Buffer
+		run("tail", []string{"-addr", srv.URL}, &buf)
+		t.Error("tail returned instead of looping")
+	}()
+
+	want := []time.Duration{tailBackoffFloor, 2 * tailBackoffFloor, 4 * tailBackoffFloor, 8 * tailBackoffFloor}
+	if len(sleeps) != len(want) {
+		t.Fatalf("slept %d times: %v", len(sleeps), sleeps)
+	}
+	for i, d := range want {
+		if sleeps[i] != d {
+			t.Fatalf("backoff did not double: %v, want %v", sleeps, want)
+		}
+	}
+}
+
+// TestTailFailsFastWhenNeverConnected: with no daemon at all, tail
+// errors out instead of retrying forever against nothing.
+func TestTailFailsFastWhenNeverConnected(t *testing.T) {
+	srv := httptest.NewServer(http.NotFoundHandler())
+	srv.Close() // connection refused from now on
+	orig := tailSleep
+	tailSleep = func(time.Duration) { t.Fatal("tail slept instead of failing fast") }
+	defer func() { tailSleep = orig }()
+	var buf bytes.Buffer
+	if err := run("tail", []string{"-addr", srv.URL}, &buf); err == nil {
+		t.Fatal("tail with no daemon must fail")
+	}
+}

@@ -140,9 +140,22 @@ func runShow(args []string, out io.Writer) error {
 	return nil
 }
 
+// Tail reconnect pacing: after a stream drop the client retries with
+// exponential backoff, reset to the floor once events flow again.
+// tailSleep is swapped out by tests.
+const (
+	tailBackoffFloor = 500 * time.Millisecond
+	tailBackoffCap   = 30 * time.Second
+)
+
+var tailSleep = time.Sleep
+
 // runTail follows the daemon's live run stream (GET /v1/events) and
-// prints one line per lifecycle event until the stream closes — or,
-// with -n, after that many events.
+// prints one line per lifecycle event. A dropped stream — daemon
+// restart, idle timeout, proxy hiccup — is reconnected with exponential
+// backoff rather than ending the tail; only a failure to connect at all
+// on the first attempt is fatal. With -n, the tail exits after that
+// many events across all connections.
 func runTail(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("tail", flag.ExitOnError)
 	addr := fs.String("addr", "http://127.0.0.1:8086", "loasd base URL")
@@ -150,17 +163,51 @@ func runTail(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	resp, err := http.Get(strings.TrimRight(*addr, "/") + "/v1/events")
+	base := strings.TrimRight(*addr, "/")
+	fmt.Fprintf(out, "tailing %s/v1/events\n", base)
+
+	seen := 0
+	connectedOnce := false
+	backoff := tailBackoffFloor
+	for {
+		got, connected, err := tailOnce(base, out, *n, &seen)
+		if *n > 0 && seen >= *n {
+			return nil
+		}
+		if err != nil && !connectedOnce && !connected {
+			// Never reached the stream: loasd isn't there — fail fast
+			// instead of backing off against nothing.
+			return err
+		}
+		connectedOnce = true
+		if got > 0 {
+			backoff = tailBackoffFloor
+		}
+		if err != nil {
+			fmt.Fprintf(out, "stream lost (%v), reconnecting in %s\n", err, backoff)
+		} else {
+			fmt.Fprintf(out, "stream closed, reconnecting in %s\n", backoff)
+		}
+		tailSleep(backoff)
+		if backoff *= 2; backoff > tailBackoffCap {
+			backoff = tailBackoffCap
+		}
+	}
+}
+
+// tailOnce holds one /v1/events connection until it drops (nil error)
+// or fails (connect refusal, non-200, read error), printing events as
+// they arrive and counting them into *seen. It returns how many events
+// this connection delivered and whether the stream was reached at all.
+func tailOnce(base string, out io.Writer, n int, seen *int) (got int, connected bool, err error) {
+	resp, err := http.Get(base + "/v1/events")
 	if err != nil {
-		return fmt.Errorf("is loasd running at %s? %w", *addr, err)
+		return 0, false, fmt.Errorf("is loasd running at %s? %w", base, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("loasd: /v1/events returned status %d", resp.StatusCode)
+		return 0, false, fmt.Errorf("loasd: /v1/events returned status %d", resp.StatusCode)
 	}
-	fmt.Fprintf(out, "tailing %s/v1/events\n", strings.TrimRight(*addr, "/"))
-
-	seen := 0
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	var event string
@@ -172,13 +219,14 @@ func runTail(args []string, out io.Writer) error {
 		case strings.HasPrefix(line, "data: ") && event != "":
 			printEvent(out, event, strings.TrimPrefix(line, "data: "))
 			event = ""
-			seen++
-			if *n > 0 && seen >= *n {
-				return nil
+			got++
+			*seen++
+			if n > 0 && *seen >= n {
+				return got, true, nil
 			}
 		}
 	}
-	return sc.Err()
+	return got, true, sc.Err()
 }
 
 // printEvent renders one SSE payload as a single log line.

@@ -10,6 +10,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -60,6 +61,11 @@ type Options struct {
 	// (with "sizing" and "layout-extract" children) plus the two
 	// verification phases. A nil Span records nothing.
 	Span *obs.Span
+	// Ctx, when non-nil, carries the caller's pprof labels (the daemon
+	// sets phase/topology/layout/run_id) under which the engine layers
+	// its per-phase labels, so CPU/heap profiles slice by pipeline
+	// stage. Observation only — results are identical with or without.
+	Ctx context.Context
 	// Refine configures the closed-loop post-layout refinement: when
 	// enabled, extracted corner performance drives re-sizing rounds
 	// until the original spec is met at every corner (see refine.go).
@@ -208,6 +214,10 @@ func synthesizeOnce(tech *techno.Tech, spec sizing.OTASpec, opts Options, round 
 	obs.Default.Counter("loas_synth_runs_"+metricName(plan.Name)+"_total",
 		"Synthesis runs for topology "+plan.Name+".").Inc()
 
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	res := &Result{Topology: plan.Name, LayoutBackend: opts.backend.Info().Name, Spec: spec}
 	var par *extract.Parasitics
 	var design sizing.Design
@@ -218,8 +228,11 @@ func synthesizeOnce(tech *techno.Tech, spec sizing.OTASpec, opts Options, round 
 		itSpan.SetAttr("call", strconv.Itoa(call))
 		ps.Report = par
 		sizeSpan := itSpan.Child("sizing")
+		sizeSpan.BeginResources()
 		sizeStart := time.Now()
-		design, err = plan.Size(tech, spec, ps)
+		obs.Phase(ctx, "sizing", func() {
+			design, err = plan.Size(tech, spec, ps)
+		})
 		if err != nil {
 			return nil, fmt.Errorf("core: sizing pass %d: %w", call, err)
 		}
@@ -228,8 +241,12 @@ func synthesizeOnce(tech *techno.Tech, spec sizing.OTASpec, opts Options, round 
 		res.SizingPasses++
 
 		laySpan := itSpan.Child("layout-extract")
+		laySpan.BeginResources()
 		layoutStart := time.Now()
-		lay, err := opts.backend.Plan(tech, design.Layout(), opts.Shape, opts.session)
+		var lay *cairo.Plan
+		obs.Phase(ctx, "layout-extract", func() {
+			lay, err = opts.backend.Plan(tech, design.Layout(), opts.Shape, opts.session)
+		})
 		if err != nil {
 			return nil, fmt.Errorf("core: layout call %d: %w", call, err)
 		}
@@ -291,9 +308,13 @@ func synthesizeOnce(tech *techno.Tech, spec sizing.OTASpec, opts Options, round 
 		// the same suite, so any Table-1 mismatch is purely the
 		// parasitics each case ignores.
 		vsSpan := opts.Span.Child("verify-synthesized")
-		synth, err := meas.Measure(OTABench(tech, spec, design, func() *circuit.Circuit {
-			return design.AssumedNetlist("assumed")
-		}))
+		vsSpan.BeginResources()
+		var synth *meas.Report
+		obs.Phase(ctx, "verify-synthesized", func() {
+			synth, err = meas.Measure(OTABench(tech, spec, design, func() *circuit.Circuit {
+				return design.AssumedNetlist("assumed")
+			}))
+		})
 		if err != nil {
 			return nil, fmt.Errorf("core: synthesized verification: %w", err)
 		}
@@ -302,7 +323,12 @@ func synthesizeOnce(tech *techno.Tech, spec sizing.OTASpec, opts Options, round 
 		res.Synthesized.Offset = 0 // by construction of a symmetric schematic
 
 		veSpan := opts.Span.Child("verify-extracted")
-		perf, ckt, err := VerifyExtracted(tech, spec, design, par)
+		veSpan.BeginResources()
+		var perf *sizing.Performance
+		var ckt *circuit.Circuit
+		obs.Phase(ctx, "verify-extracted", func() {
+			perf, ckt, err = VerifyExtracted(tech, spec, design, par)
+		})
 		if err != nil {
 			return nil, fmt.Errorf("core: extracted verification: %w", err)
 		}

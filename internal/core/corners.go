@@ -66,11 +66,15 @@ func CornerSweepCtx(ctx context.Context, tech *techno.Tech, res *Result) (map[te
 	corners := []techno.Corner{techno.CornerTT, techno.CornerSS,
 		techno.CornerFF, techno.CornerSF, techno.CornerFS}
 	perfs, err := parallel.Map(ctx, 0, corners,
-		func(_ context.Context, _ int, c techno.Corner) (sizing.Performance, error) {
+		func(cctx context.Context, _ int, c techno.Corner) (sizing.Performance, error) {
 			span := parent.Child("corner")
 			span.SetAttr("corner", string(c))
 			defer span.End()
-			p, err := VerifyAtCorner(tech, c, res)
+			var p *sizing.Performance
+			var err error
+			obs.Phase(cctx, "corner", func() {
+				p, err = VerifyAtCorner(tech, c, res)
+			})
 			if err != nil {
 				return sizing.Performance{}, err
 			}

@@ -163,7 +163,13 @@ func synthesizeRefined(tech *techno.Tech, spec sizing.OTASpec, opts Options) (*R
 		if err == nil {
 			var corners map[techno.Corner]sizing.Performance
 			sweep := rSpan.Child("corner-sweep")
-			corners, err = CornerSweepCtx(obs.ContextWithSpan(context.Background(), sweep), tech, res)
+			// The sweep context chains from opts.Ctx so the daemon's pprof
+			// labels (topology, run_id) reach the per-corner workers.
+			cctx := opts.Ctx
+			if cctx == nil {
+				cctx = context.Background()
+			}
+			corners, err = CornerSweepCtx(obs.ContextWithSpan(cctx, sweep), tech, res)
 			sweep.End()
 			if err == nil {
 				rr := scoreRound(round, target, spec, res, corners)

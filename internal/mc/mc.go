@@ -87,6 +87,11 @@ type OffsetConfig struct {
 	// per-worker-item view of where the fan-out's wall time goes. Spans
 	// observe only; the sample statistics are unchanged.
 	Span *obs.Span
+	// Ctx, when non-nil, is the context the sample fan-out derives its
+	// worker contexts from: cancellation propagates, and pprof labels it
+	// carries (the daemon's phase/topology/run_id) reach the per-sample
+	// phase instrumentation. Nil means Background.
+	Ctx context.Context
 	// PerSolveRebuild selects the legacy evaluation that rebuilds the
 	// netlist and engine for every bisection probe instead of batching
 	// the ~21 solves of a sample onto one engine. The two paths are
@@ -223,23 +228,32 @@ type OffsetSample struct {
 // sample i depends only on (seed, i) — never on start, the worker count
 // or GOMAXPROCS. Results come back in index order.
 func OffsetSamples(cfg OffsetConfig, start, n int, seed int64) ([]OffsetSample, error) {
+	ctx := cfg.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	// A failed offset search (outside the window, no DC convergence) is a
 	// per-sample outcome counted by the reducer, never a pool error — so
 	// the only errors MapN can surface here are worker panics.
-	return parallel.MapN(context.Background(), cfg.Workers, n,
-		func(_ context.Context, i int) (OffsetSample, error) {
+	return parallel.MapN(ctx, cfg.Workers, n,
+		func(sctx context.Context, i int) (OffsetSample, error) {
 			idx := start + i
 			span := cfg.Span.Child("mc-sample")
 			span.SetAttr("index", strconv.Itoa(idx))
 			defer span.End()
-			base := cfg.Build()
-			s := Draw(rand.New(rand.NewSource(sampleSeed(seed, idx))), base)
-			off, err := SimulateOffset(cfg, s)
-			mcSamples.Inc()
-			if err != nil {
-				return OffsetSample{Index: idx}, nil
-			}
-			return OffsetSample{Index: idx, OffsetV: off, OK: true}, nil
+			var out OffsetSample
+			obs.Phase(sctx, "mc-sample", func() {
+				base := cfg.Build()
+				s := Draw(rand.New(rand.NewSource(sampleSeed(seed, idx))), base)
+				off, err := SimulateOffset(cfg, s)
+				mcSamples.Inc()
+				if err != nil {
+					out = OffsetSample{Index: idx}
+					return
+				}
+				out = OffsetSample{Index: idx, OffsetV: off, OK: true}
+			})
+			return out, nil
 		})
 }
 

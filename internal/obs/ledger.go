@@ -59,6 +59,14 @@ type RunRecord struct {
 	Converged   bool `json:"converged,omitempty"`
 	LayoutCalls int  `json:"layout_calls,omitempty"`
 	Bytes       int  `json:"bytes,omitempty"`
+	// Request is the canonicalized request body that produced this run
+	// (compact JSON, recorded after normalization with the resolved spec
+	// embedded) — what `loas replay` re-issues. Absent for GET-style
+	// runs and for bodies over the daemon's recording bound.
+	Request json.RawMessage `json:"request,omitempty"`
+	// BodySHA256 is the hex SHA-256 of the response body; replay checks
+	// byte-identity of replayed responses against it.
+	BodySHA256 string `json:"body_sha256,omitempty"`
 	// Spans is the request-lifecycle tree; Iterations the convergence
 	// trace (cold runs only — replays carry no new iterations).
 	Spans      []SpanRecord `json:"spans,omitempty"`
@@ -104,6 +112,27 @@ func DecodeRunRecords(data []byte, max int) []RunRecord {
 		out = out[len(out)-max:]
 	}
 	return out
+}
+
+// ReadLedger reads the records of the ledger at path without opening it
+// for append: the rotated <path>.1 generation first, then the active
+// file, in write order. max > 0 keeps only the newest max records. This
+// is the replay tool's loader — read-only, so it is safe against a
+// ledger another process is still appending to (at worst the torn tail
+// line is skipped, like any crash tail).
+func ReadLedger(path string, max int) []RunRecord {
+	var all []RunRecord
+	for _, p := range []string{path + ".1", path} {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			continue // missing generation
+		}
+		all = append(all, DecodeRunRecords(data, 0)...)
+	}
+	if max > 0 && len(all) > max {
+		all = all[len(all)-max:]
+	}
+	return all
 }
 
 // LedgerOptions sizes a ledger. Zero values mean defaults.

@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -67,12 +68,55 @@ func (h *Histogram) Count() int64 { return h.count.Load() }
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 
+// HistogramVec is a family of Histograms split by one label — the
+// Prometheus `name{label="value"}` form. Label values materialize
+// their series on first Observe, so the exposition only carries phases
+// that actually ran. All methods are safe for concurrent use.
+type HistogramVec struct {
+	label  string
+	bounds []float64
+
+	mu     sync.Mutex
+	series map[string]*Histogram
+}
+
+// With returns the histogram of one label value, creating it on first
+// use. The returned *Histogram is shared: callers may retain it.
+func (v *HistogramVec) With(value string) *Histogram {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	h, ok := v.series[value]
+	if !ok {
+		h = NewHistogram(v.bounds)
+		v.series[value] = h
+	}
+	return h
+}
+
+// snapshot returns the label values (sorted) and their histograms.
+func (v *HistogramVec) snapshot() ([]string, []*Histogram) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	values := make([]string, 0, len(v.series))
+	for val := range v.series {
+		values = append(values, val)
+	}
+	sort.Strings(values)
+	hs := make([]*Histogram, len(values))
+	for i, val := range values {
+		hs[i] = v.series[val]
+	}
+	return values, hs
+}
+
 // metric is one registered name: exactly one of the fields is set.
 type metric struct {
 	help  string
 	c     *Counter
 	h     *Histogram
+	hv    *HistogramVec
 	gauge func() float64
+	info  map[string]string
 }
 
 // Registry holds named metrics and renders them in the Prometheus text
@@ -127,6 +171,41 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 	return h
 }
 
+// HistogramVec returns the labeled histogram family registered under
+// name, creating it over the given label name and bucket bounds on
+// first use.
+func (r *Registry) HistogramVec(name, help, label string, bounds []float64) *HistogramVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.hv == nil {
+			panic("obs: " + name + " already registered as a non-histogram-vec")
+		}
+		return m.hv
+	}
+	v := &HistogramVec{label: label, bounds: append([]float64(nil), bounds...),
+		series: map[string]*Histogram{}}
+	sort.Float64s(v.bounds)
+	r.metrics[name] = &metric{help: help, hv: v}
+	return v
+}
+
+// InfoGauge registers a constant `name{k="v",...} 1` series — the
+// Prometheus idiom for build/runtime identity (loas_build_info). The
+// first registration of a name wins.
+func (r *Registry) InfoGauge(name, help string, labels map[string]string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.metrics[name]; ok {
+		return
+	}
+	copied := make(map[string]string, len(labels))
+	for k, v := range labels {
+		copied[k] = v
+	}
+	r.metrics[name] = &metric{help: help, info: copied}
+}
+
 // GaugeFunc registers fn as a gauge sampled at exposition time (queue
 // depth, cache bytes — values that go up and down and already live in
 // someone else's counter). Re-registering a name keeps the first fn.
@@ -168,7 +247,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		case m.gauge != nil:
 			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, formatFloat(m.gauge()))
 		case m.h != nil:
-			err = writeHistogram(w, name, m.h)
+			err = writeHistogram(w, name, "", m.h)
+		case m.hv != nil:
+			err = writeHistogramVec(w, name, m.hv)
+		case m.info != nil:
+			err = writeInfoGauge(w, name, m.info)
 		}
 		if err != nil {
 			return err
@@ -177,22 +260,74 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	return nil
 }
 
-func writeHistogram(w io.Writer, name string, h *Histogram) error {
-	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
-		return err
+// writeHistogram renders one histogram series. labels, when non-empty,
+// is a rendered `key="value"` fragment prefixed into every bucket's
+// brace set and suffixed onto _sum/_count (the HistogramVec case); the
+// TYPE line is the caller's job then.
+func writeHistogram(w io.Writer, name, labels string, h *Histogram) error {
+	if labels == "" {
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+	}
+	sep, suffix := "", ""
+	if labels != "" {
+		sep = labels + ","
+		suffix = "{" + labels + "}"
 	}
 	var cum int64
 	for i, bound := range h.bounds {
 		cum += h.counts[i].Load()
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(bound), cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", name, sep, formatFloat(bound), cum); err != nil {
 			return err
 		}
 	}
 	cum += h.counts[len(h.bounds)].Load()
-	_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
-		name, cum, name, formatFloat(h.Sum()), name, h.Count())
+	_, err := fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n%s_sum%s %s\n%s_count%s %d\n",
+		name, sep, cum, name, suffix, formatFloat(h.Sum()), name, suffix, h.Count())
 	return err
 }
+
+// writeHistogramVec renders every materialized series of the family
+// under one TYPE header, label values in sorted order so output is
+// stable scrape over scrape.
+func writeHistogramVec(w io.Writer, name string, v *HistogramVec) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	values, hs := v.snapshot()
+	for i, val := range values {
+		labels := fmt.Sprintf("%s=\"%s\"", v.label, escapeLabelValue(val))
+		if err := writeHistogram(w, name, labels, hs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeInfoGauge renders the constant info series with sorted label
+// keys.
+func writeInfoGauge(w io.Writer, name string, labels map[string]string) error {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=\"%s\"", k, escapeLabelValue(labels[k])))
+	}
+	_, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s{%s} 1\n", name, name, strings.Join(parts, ","))
+	return err
+}
+
+// escapeLabelValue applies the Prometheus text-format label escapes:
+// backslash, double quote and newline.
+func escapeLabelValue(v string) string {
+	return labelEscaper.Replace(v)
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
 
 func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)

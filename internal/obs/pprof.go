@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"context"
+	"runtime/pprof"
+	"time"
+)
+
+// Profiler labels tie the pipeline's logical structure to the runtime's
+// sample-based profiles: the daemon labels each run's context with
+// phase/topology/layout/run_id, the worker pool adopts those labels for
+// the job's duration, and every engine phase layers its own phase label
+// on top. A CPU or heap profile captured through /debug/pprof then
+// slices by pipeline stage — `go tool pprof -tagfocus phase=sizing` —
+// instead of by call stack alone.
+
+// phaseBuckets resolve microsecond-scale MC samples up to multi-second
+// refined sizing rounds.
+var phaseBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// phaseSeconds aggregates per-phase wall time process-wide — the
+// loas_phase_seconds{phase=...} histogram family on /metrics. Every
+// Phase call feeds it, whichever server or CLI invocation is running.
+var phaseSeconds = Default.HistogramVec("loas_phase_seconds",
+	"wall-clock time of pipeline phases (sizing, layout-extract, verification, corners, MC samples), by phase",
+	"phase", phaseBuckets)
+
+// LabelCtx returns ctx carrying the given pprof label pairs merged over
+// any labels already present. Empty values are skipped so callers can
+// pass optional attributes unconditionally. A nil ctx starts from
+// Background.
+func LabelCtx(ctx context.Context, kv ...string) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	pairs := make([]string, 0, len(kv))
+	for i := 0; i+1 < len(kv); i += 2 {
+		if kv[i] != "" && kv[i+1] != "" {
+			pairs = append(pairs, kv[i], kv[i+1])
+		}
+	}
+	if len(pairs) == 0 {
+		return ctx
+	}
+	return pprof.WithLabels(ctx, pprof.Labels(pairs...))
+}
+
+// Phase runs fn as one named pipeline phase: for fn's duration the
+// goroutine carries `phase=name` layered over ctx's labels (so profile
+// samples attribute to the stage), and the phase's wall time lands in
+// loas_phase_seconds{phase=name}.
+func Phase(ctx context.Context, name string, fn func()) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	start := time.Now()
+	pprof.Do(ctx, pprof.Labels("phase", name), func(context.Context) { fn() })
+	phaseSeconds.With(name).Observe(time.Since(start).Seconds())
+}

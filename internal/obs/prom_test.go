@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestPrometheusHistogramConformance pins the text-exposition contract
+// for a plain histogram: cumulative buckets, the mandatory +Inf bucket,
+// and the _sum/_count pair.
+func TestPrometheusHistogramConformance(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("t_hist_seconds", "help text", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(2)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP t_hist_seconds help text\n",
+		"# TYPE t_hist_seconds histogram\n",
+		`t_hist_seconds_bucket{le="0.1"} 1` + "\n",
+		`t_hist_seconds_bucket{le="1"} 2` + "\n",
+		`t_hist_seconds_bucket{le="+Inf"} 3` + "\n",
+		"t_hist_seconds_sum 2.55\n",
+		"t_hist_seconds_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestPrometheusHistogramVecConformance pins the labeled-family form:
+// one TYPE header for the family, per-series buckets with the label
+// before le, labeled _sum/_count, label values in sorted order.
+func TestPrometheusHistogramVecConformance(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("t_phase_seconds", "per-phase time", "phase", []float64{0.5})
+	v.With("sizing").Observe(0.1)
+	v.With("sizing").Observe(0.9)
+	v.With("layout").Observe(0.2)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if n := strings.Count(out, "# TYPE t_phase_seconds histogram"); n != 1 {
+		t.Fatalf("want exactly one TYPE header for the family, got %d:\n%s", n, out)
+	}
+	for _, want := range []string{
+		`t_phase_seconds_bucket{phase="layout",le="0.5"} 1`,
+		`t_phase_seconds_bucket{phase="layout",le="+Inf"} 1`,
+		`t_phase_seconds_sum{phase="layout"} 0.2`,
+		`t_phase_seconds_count{phase="layout"} 1`,
+		`t_phase_seconds_bucket{phase="sizing",le="0.5"} 1`,
+		`t_phase_seconds_bucket{phase="sizing",le="+Inf"} 2`,
+		`t_phase_seconds_count{phase="sizing"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// "layout" must render before "sizing": sorted label values.
+	if strings.Index(out, `phase="layout"`) > strings.Index(out, `phase="sizing"`) {
+		t.Errorf("label values not sorted:\n%s", out)
+	}
+}
+
+// TestPrometheusLabelEscaping pins the three label-value escapes of the
+// text format: backslash, double quote, newline.
+func TestPrometheusLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("t_esc", "", "tag", []float64{1})
+	v.With("a\\b\"c\nd").Observe(0.5)
+	r.InfoGauge("t_esc_info", "", map[string]string{"path": `C:\x`, "q": "say \"hi\"\n"})
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`t_esc_bucket{tag="a\\b\"c\nd",le="1"} 1`,
+		`t_esc_info{path="C:\\x",q="say \"hi\"\n"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "\nd\"") {
+		t.Errorf("raw newline leaked into a label value:\n%s", out)
+	}
+}
+
+// TestPrometheusStableOrdering: two renders of the same registry are
+// byte-identical, and metric families appear in sorted name order.
+func TestPrometheusStableOrdering(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("t_zz_total", "z").Inc()
+	r.Counter("t_aa_total", "a").Inc()
+	v := r.HistogramVec("t_mm_seconds", "m", "phase", []float64{1})
+	v.With("b").Observe(0.1)
+	v.With("a").Observe(0.2)
+	r.InfoGauge("t_ii_info", "i", map[string]string{"b": "2", "a": "1"})
+
+	var b1, b2 bytes.Buffer
+	if err := r.WritePrometheus(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Fatalf("exposition not stable across renders:\n--- first\n%s\n--- second\n%s", b1.String(), b2.String())
+	}
+	out := b1.String()
+	ia, im, iz := strings.Index(out, "t_aa_total"), strings.Index(out, "t_mm_seconds"), strings.Index(out, "t_zz_total")
+	if !(ia < im && im < iz) {
+		t.Fatalf("families not name-sorted (aa@%d mm@%d zz@%d):\n%s", ia, im, iz, out)
+	}
+	if !strings.Contains(out, `t_ii_info{a="1",b="2"} 1`) {
+		t.Fatalf("info labels not key-sorted:\n%s", out)
+	}
+}
+
+// TestInfoGaugeFirstRegistrationWins: re-registering an info gauge keeps
+// the original labels, and the registered map is a copy.
+func TestInfoGaugeFirstRegistrationWins(t *testing.T) {
+	r := NewRegistry()
+	labels := map[string]string{"version": "v1"}
+	r.InfoGauge("t_build_info", "", labels)
+	labels["version"] = "mutated"
+	r.InfoGauge("t_build_info", "", map[string]string{"version": "v2"})
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if want := `t_build_info{version="v1"} 1`; !strings.Contains(buf.String(), want) {
+		t.Fatalf("want %q, got:\n%s", want, buf.String())
+	}
+}

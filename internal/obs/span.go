@@ -35,6 +35,13 @@ type SpanRecord struct {
 	StartNS    int64             `json:"start_ns"`
 	DurationNS int64             `json:"duration_ns"`
 	Attrs      map[string]string `json:"attrs,omitempty"`
+	// AllocBytes and GCCycles are the span's resource deltas, present
+	// only when the span opted in via BeginResources: heap bytes
+	// allocated and GC cycles completed process-wide while the span ran.
+	// Exact attribution on serial phases; an upper bound when other work
+	// ran concurrently.
+	AllocBytes int64 `json:"alloc_bytes,omitempty"`
+	GCCycles   int64 `json:"gc_cycles,omitempty"`
 }
 
 // Recorder allocates and collects the spans of one run. The zero value
@@ -118,6 +125,13 @@ type Span struct {
 	attrs map[string]string
 	durNS int64
 	ended bool
+
+	// Resource sampling (BeginResources): res0 is the reading at opt-in;
+	// the deltas freeze at End.
+	sampled    bool
+	res0       ResourceSample
+	allocBytes int64
+	gcCycles   int64
 }
 
 // Child opens a sub-span. Safe on nil (returns nil).
@@ -141,7 +155,26 @@ func (s *Span) SetAttr(k, v string) {
 	s.mu.Unlock()
 }
 
-// End closes the span, freezing its duration. Idempotent; safe on nil.
+// BeginResources samples the process resource counters now, opting the
+// span into allocation/GC-delta attribution: End will sample again and
+// freeze the deltas into the record. Call it on serial phases where the
+// delta is exact (sizing, extraction, verification); on concurrent
+// spans the delta would count the neighbors' work too. Safe on nil.
+func (s *Span) BeginResources() {
+	if s == nil {
+		return
+	}
+	r := SampleResources()
+	s.mu.Lock()
+	if !s.ended {
+		s.sampled = true
+		s.res0 = r
+	}
+	s.mu.Unlock()
+}
+
+// End closes the span, freezing its duration (and resource deltas when
+// BeginResources was called). Idempotent; safe on nil.
 func (s *Span) End() {
 	if s == nil {
 		return
@@ -150,9 +183,21 @@ func (s *Span) End() {
 	now := s.rec.now
 	s.rec.mu.Unlock()
 	s.mu.Lock()
+	sampled := s.sampled && !s.ended
+	s.mu.Unlock()
+	// Sample outside the span lock; freeze under it only if still open.
+	var r ResourceSample
+	if sampled {
+		r = SampleResources()
+	}
+	s.mu.Lock()
 	if !s.ended {
 		s.ended = true
 		s.durNS = now().Sub(s.start).Nanoseconds()
+		if sampled {
+			s.allocBytes = int64(r.AllocBytes - s.res0.AllocBytes)
+			s.gcCycles = int64(r.GCCycles - s.res0.GCCycles)
+		}
 	}
 	s.mu.Unlock()
 }
@@ -183,6 +228,8 @@ func (s *Span) record(now func() time.Time) SpanRecord {
 		Name:       s.name,
 		StartNS:    s.startNS,
 		DurationNS: s.durNS,
+		AllocBytes: s.allocBytes,
+		GCCycles:   s.gcCycles,
 	}
 	if !s.ended {
 		rec.DurationNS = now().Sub(s.start).Nanoseconds()
@@ -210,8 +257,15 @@ func SpanTreeText(spans []SpanRecord) string {
 	walk = func(parent, depth int) {
 		for _, s := range children[parent] {
 			label := strings.Repeat("  ", depth) + s.Name
+			extra := attrText(s.Attrs)
+			if s.AllocBytes > 0 || s.GCCycles > 0 {
+				if extra != "" {
+					extra += " "
+				}
+				extra += fmt.Sprintf("alloc=%.1fkB gc=%d", float64(s.AllocBytes)/1e3, s.GCCycles)
+			}
 			fmt.Fprintf(&b, "  %-32s %9.3f ms  %s\n",
-				label, float64(s.DurationNS)/1e6, attrText(s.Attrs))
+				label, float64(s.DurationNS)/1e6, extra)
 			walk(s.ID, depth+1)
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 )
@@ -86,7 +87,14 @@ func (p *Pool) worker() {
 			// work entirely.
 			err = job.ctx.Err()
 		} else {
+			// Adopt the submitter's pprof labels (phase, topology, run_id)
+			// for the job's duration: profile samples taken while the job
+			// runs attribute to the request that submitted it, not to an
+			// anonymous pool worker. Goroutine labels do not cross the
+			// Submit boundary on their own.
+			pprof.SetGoroutineLabels(job.ctx)
 			err = runProtected(job)
+			pprof.SetGoroutineLabels(context.Background())
 		}
 		p.depth.Add(-1)
 		p.executed.Add(1)

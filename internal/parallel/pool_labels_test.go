@@ -1,0 +1,48 @@
+package parallel
+
+import (
+	"bytes"
+	"context"
+	"runtime/pprof"
+	"strings"
+	"testing"
+)
+
+// TestPoolWorkerAdoptsSubmitterLabels: a worker executing a job carries
+// the submitter's pprof labels for the job's duration and sheds them
+// afterwards, so profile samples attribute to the request, not to an
+// anonymous pool goroutine. One worker makes the hand-off deterministic.
+func TestPoolWorkerAdoptsSubmitterLabels(t *testing.T) {
+	p := NewPool(1, 4)
+	defer p.Close()
+
+	ctx := pprof.WithLabels(context.Background(),
+		pprof.Labels("phase", "pool-label-test", "run_id", "run-424242"))
+
+	// The labeled job inspects the goroutine profile from inside the
+	// worker: its own goroutine must be listed with the labels.
+	var inJob bytes.Buffer
+	if err := p.Submit(ctx, func(context.Context) error {
+		return pprof.Lookup("goroutine").WriteTo(&inJob, 1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	prof := inJob.String()
+	for _, want := range []string{`"phase":"pool-label-test"`, `"run_id":"run-424242"`} {
+		if !strings.Contains(prof, want) {
+			t.Errorf("worker goroutine missing label %s during job:\n%s", want, prof)
+		}
+	}
+
+	// An unlabeled job on the same (sole) worker must not inherit the
+	// previous job's labels.
+	var after bytes.Buffer
+	if err := p.Submit(context.Background(), func(context.Context) error {
+		return pprof.Lookup("goroutine").WriteTo(&after, 1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(after.String(), "pool-label-test") {
+		t.Errorf("stale labels leaked into the next job:\n%s", after.String())
+	}
+}

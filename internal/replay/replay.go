@@ -1,0 +1,376 @@
+// Package replay turns a recorded run ledger back into live traffic.
+//
+// Every run the daemon records carries its canonicalized request body
+// (obs.RunRecord.Request) and the SHA-256 of the response it produced
+// (BodySHA256). That makes the JSONL ledger a replayable workload: this
+// package reads one — rotated generation included — re-issues the
+// original requests against a live daemon in the recorded order, and
+// measures what the paper's service layer is for: throughput, latency
+// percentiles, cache-hit/dedup/shed behaviour, and whether cache-hit
+// responses are byte-identical to the recorded results.
+//
+// Replay is a load generator, not a mutation: it only issues requests
+// the daemon already answered once, so a warm daemon serves the whole
+// ledger from its content-addressed cache and a cold one re-executes
+// exactly the recorded workload.
+package replay
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"loas/internal/obs"
+)
+
+// Item is one replayable request reconstructed from a ledger record.
+type Item struct {
+	Seq    int64  `json:"seq"`
+	RunID  string `json:"run_id"`
+	Kind   string `json:"kind"`
+	Method string `json:"method"`
+	Path   string `json:"path"`
+	// Body is the recorded canonical request body (nil for GET kinds).
+	Body []byte `json:"-"`
+	// WantSHA and WantBytes are the recorded response's SHA-256 and
+	// size; empty/zero when the original run errored or recorded no
+	// body.
+	WantSHA   string `json:"want_sha256,omitempty"`
+	WantBytes int    `json:"want_bytes,omitempty"`
+	// Outcome is the original run's outcome (ok | cache-hit | dedup).
+	Outcome string `json:"outcome"`
+}
+
+// endpointFor maps a record kind to its HTTP method and path. Kinds
+// without a mapping (or future ones) are skipped by Load.
+func endpointFor(kind string) (method, path string, ok bool) {
+	switch kind {
+	case "synthesize":
+		return http.MethodPost, "/v1/synthesize", true
+	case "table1":
+		return http.MethodPost, "/v1/table1", true
+	case "mc":
+		return http.MethodPost, "/v1/mc", true
+	case "batch":
+		return http.MethodPost, "/v1/batch", true
+	case "explore":
+		return http.MethodPost, "/v1/explore", true
+	case "layout.svg":
+		return http.MethodGet, "/v1/layout.svg", true
+	}
+	return "", "", false
+}
+
+// Load reads the ledger at path (the rotated <path>.1 generation first,
+// then the active file) and returns its replayable items in recorded
+// order. Child runs — batch items and exploration probes, recognizable
+// by Parent — are excluded unless includeChildren is set: replaying the
+// parent request re-issues its children through the daemon's own
+// fan-out, so replaying both would double the workload. Records that
+// errored, carry no request (pre-recording ledgers, oversized bodies)
+// or name an unmapped kind are skipped.
+func Load(path string, includeChildren bool) ([]Item, error) {
+	recs := obs.ReadLedger(path, 0)
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("replay: no run records in %s (or %s.1)", path, path)
+	}
+	var items []Item
+	for _, rec := range recs {
+		if rec.Outcome == "error" {
+			continue
+		}
+		if rec.Parent != "" && !includeChildren {
+			continue
+		}
+		method, p, ok := endpointFor(rec.Kind)
+		if !ok {
+			continue
+		}
+		if method == http.MethodPost && len(rec.Request) == 0 {
+			continue
+		}
+		items = append(items, Item{
+			Seq:       rec.Seq,
+			RunID:     rec.ID,
+			Kind:      rec.Kind,
+			Method:    method,
+			Path:      p,
+			Body:      []byte(rec.Request),
+			WantSHA:   rec.BodySHA256,
+			WantBytes: rec.Bytes,
+			Outcome:   rec.Outcome,
+		})
+	}
+	if len(items) == 0 {
+		return nil, fmt.Errorf("replay: %s holds %d records but none are replayable (no recorded requests — ledger predates request recording?)", path, len(recs))
+	}
+	// ReadLedger returns generations in file order; sort by sequence so
+	// replay order matches recording order even across rotation.
+	sort.SliceStable(items, func(i, j int) bool { return items[i].Seq < items[j].Seq })
+	return items, nil
+}
+
+// Config shapes one replay run.
+type Config struct {
+	// BaseURL locates the daemon, e.g. "http://127.0.0.1:8086".
+	BaseURL string
+	// Concurrency is the number of in-flight requests (default 1).
+	// Items are dispatched strictly in recorded order regardless.
+	Concurrency int
+	// Rate throttles dispatch to this many requests per second
+	// (0 = as fast as the workers drain).
+	Rate float64
+	// Timeout bounds one request (default 5 minutes — a cold synthesis
+	// can be slow; cache hits are microseconds).
+	Timeout time.Duration
+	// Client overrides the HTTP client (tests). Timeout is applied per
+	// request via context either way.
+	Client *http.Client
+}
+
+// Mismatch is one byte-identity failure: the daemon's response to a
+// replayed request differed from the recorded response.
+type Mismatch struct {
+	Seq     int64  `json:"seq"`
+	RunID   string `json:"run_id"`
+	Kind    string `json:"kind"`
+	WantSHA string `json:"want_sha256"`
+	GotSHA  string `json:"got_sha256"`
+	GotLen  int    `json:"got_bytes"`
+}
+
+// Report aggregates one replay run.
+type Report struct {
+	Items   int           `json:"items"` // replayable items loaded
+	Sent    int           `json:"sent"`  // requests issued
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// Throughput is completed requests per wall-clock second.
+	Throughput float64 `json:"throughput_rps"`
+
+	// Outcome counts, from the X-Loas-Cache header (200 responses),
+	// HTTP 503 (shed by the bounded queue) and everything else (errors).
+	Hits   int `json:"hits"`
+	Misses int `json:"misses"`
+	Dedup  int `json:"dedup"`
+	Shed   int `json:"shed"`
+	Errors int `json:"errors"`
+
+	// Byte identity: Checked counts 200-responses with a recorded
+	// SHA-256 to compare against; Matched those that reproduced the
+	// recorded bytes exactly.
+	Checked    int        `json:"checked"`
+	Matched    int        `json:"matched"`
+	Mismatches []Mismatch `json:"mismatches,omitempty"`
+
+	// Latency percentiles over completed requests (nearest-rank).
+	P50 time.Duration `json:"p50_ns"`
+	P90 time.Duration `json:"p90_ns"`
+	P99 time.Duration `json:"p99_ns"`
+}
+
+// maxMismatchDetails bounds the mismatch list carried in the report.
+const maxMismatchDetails = 16
+
+// outcome is one request's measured result.
+type outcome struct {
+	latency time.Duration
+	class   string // hit | miss | dedup | shed | error
+	sha     string
+	n       int
+}
+
+// Run replays items against cfg.BaseURL and aggregates the report.
+// Dispatch order is the recorded order; with Concurrency > 1 up to that
+// many requests overlap (completion order is then the daemon's to
+// decide, as it was for the original clients). ctx cancels the run
+// between dispatches.
+func Run(ctx context.Context, cfg Config, items []Item) (*Report, error) {
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("replay: BaseURL required")
+	}
+	base := strings.TrimRight(cfg.BaseURL, "/")
+	conc := cfg.Concurrency
+	if conc <= 0 {
+		conc = 1
+	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = 5 * time.Minute
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+
+	var interval time.Duration
+	if cfg.Rate > 0 {
+		interval = time.Duration(float64(time.Second) / cfg.Rate)
+	}
+
+	outs := make([]outcome, len(items))
+	feed := make(chan int) // unbuffered: workers adopt items in order
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range feed {
+				outs[i] = issue(ctx, client, base, timeout, items[i])
+			}
+		}()
+	}
+
+	start := time.Now()
+	sent := 0
+	next := start
+dispatch:
+	for i := range items {
+		if interval > 0 {
+			if d := time.Until(next); d > 0 {
+				select {
+				case <-time.After(d):
+				case <-ctx.Done():
+					break dispatch
+				}
+			}
+			next = next.Add(interval)
+		}
+		select {
+		case feed <- i:
+			sent++
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(feed)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &Report{Items: len(items), Sent: sent, Elapsed: elapsed}
+	if elapsed > 0 {
+		rep.Throughput = float64(sent) / elapsed.Seconds()
+	}
+	latencies := make([]time.Duration, 0, sent)
+	for i := range items[:sent] {
+		o := outs[i]
+		latencies = append(latencies, o.latency)
+		switch o.class {
+		case "hit":
+			rep.Hits++
+		case "dedup":
+			rep.Dedup++
+		case "shed":
+			rep.Shed++
+		case "error":
+			rep.Errors++
+		default:
+			rep.Misses++
+		}
+		if it := items[i]; it.WantSHA != "" && (o.class == "hit" || o.class == "miss" || o.class == "dedup") {
+			rep.Checked++
+			if o.sha == it.WantSHA {
+				rep.Matched++
+			} else if len(rep.Mismatches) < maxMismatchDetails {
+				rep.Mismatches = append(rep.Mismatches, Mismatch{
+					Seq: it.Seq, RunID: it.RunID, Kind: it.Kind,
+					WantSHA: it.WantSHA, GotSHA: o.sha, GotLen: o.n,
+				})
+			}
+		}
+	}
+	rep.P50, rep.P90, rep.P99 = percentiles(latencies)
+	return rep, nil
+}
+
+// issue sends one replayed request and classifies the response.
+func issue(ctx context.Context, client *http.Client, base string, timeout time.Duration, it Item) outcome {
+	rctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	var body io.Reader
+	if len(it.Body) > 0 {
+		body = bytes.NewReader(it.Body)
+	}
+	req, err := http.NewRequestWithContext(rctx, it.Method, base+it.Path, body)
+	if err != nil {
+		return outcome{class: "error"}
+	}
+	if it.Method == http.MethodPost {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	start := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		return outcome{latency: time.Since(start), class: "error"}
+	}
+	defer resp.Body.Close()
+	data, rerr := io.ReadAll(resp.Body)
+	o := outcome{latency: time.Since(start), n: len(data)}
+	switch {
+	case rerr != nil:
+		o.class = "error"
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		o.class = "shed"
+	case resp.StatusCode != http.StatusOK:
+		o.class = "error"
+	default:
+		switch resp.Header.Get("X-Loas-Cache") {
+		case "hit":
+			o.class = "hit"
+		case "dedup":
+			o.class = "dedup"
+		default:
+			o.class = "miss"
+		}
+		sum := sha256.Sum256(data)
+		o.sha = hex.EncodeToString(sum[:])
+	}
+	return o
+}
+
+// percentiles computes nearest-rank p50/p90/p99 over the latencies.
+func percentiles(ds []time.Duration) (p50, p90, p99 time.Duration) {
+	if len(ds) == 0 {
+		return 0, 0, 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := func(p float64) time.Duration {
+		i := int(p*float64(len(sorted))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		return sorted[i]
+	}
+	return rank(0.50), rank(0.90), rank(0.99)
+}
+
+// Text renders the report for the CLI.
+func (r *Report) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "replayed %d/%d requests in %s (%.1f req/s)\n",
+		r.Sent, r.Items, r.Elapsed.Round(time.Millisecond), r.Throughput)
+	fmt.Fprintf(&b, "  outcomes: %d hit, %d miss, %d dedup, %d shed, %d error\n",
+		r.Hits, r.Misses, r.Dedup, r.Shed, r.Errors)
+	fmt.Fprintf(&b, "  latency:  p50 %s  p90 %s  p99 %s\n",
+		r.P50.Round(time.Microsecond), r.P90.Round(time.Microsecond), r.P99.Round(time.Microsecond))
+	if r.Checked > 0 {
+		fmt.Fprintf(&b, "  identity: %d/%d responses byte-identical to the recorded results\n",
+			r.Matched, r.Checked)
+		for _, m := range r.Mismatches {
+			fmt.Fprintf(&b, "    MISMATCH seq %d (%s, %s): want %.12s..., got %.12s... (%d bytes)\n",
+				m.Seq, m.RunID, m.Kind, m.WantSHA, m.GotSHA, m.GotLen)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,293 @@
+package replay
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"loas/internal/obs"
+)
+
+// writeLedger appends records through a real obs.Ledger so the test
+// exercises the same encode path the daemon uses.
+func writeLedger(t *testing.T, path string, maxBytes int64, recs []obs.RunRecord) {
+	t.Helper()
+	l, err := obs.OpenLedger(path, obs.LedgerOptions{MaxBytes: maxBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sha(body string) string {
+	s := sha256.Sum256([]byte(body))
+	return hex.EncodeToString(s[:])
+}
+
+func TestLoadFiltersAndOrders(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "runs.jsonl")
+	recs := []obs.RunRecord{
+		{ID: "run-000001", Seq: 1, Kind: "synthesize", Outcome: "ok",
+			Request: []byte(`{"spec":1}`), BodySHA256: sha("a"), Bytes: 1},
+		{ID: "run-000002", Seq: 2, Kind: "synthesize", Outcome: "error",
+			Request: []byte(`{"spec":2}`)}, // errored: skipped
+		{ID: "run-000003", Seq: 3, Kind: "batch", Outcome: "ok",
+			Request: []byte(`{"items":[]}`), BodySHA256: sha("b")},
+		{ID: "run-000004", Seq: 4, Kind: "synthesize", Outcome: "ok",
+			Parent: "run-000003", Request: []byte(`{"spec":4}`)}, // child: excluded by default
+		{ID: "run-000005", Seq: 5, Kind: "synthesize", Outcome: "ok"}, // no request recorded: skipped
+		{ID: "run-000006", Seq: 6, Kind: "frobnicate", Outcome: "ok",
+			Request: []byte(`{}`)}, // unmapped kind: skipped
+		{ID: "run-000007", Seq: 7, Kind: "layout.svg", Outcome: "ok",
+			BodySHA256: sha("svg")}, // GET kind: replayable without a body
+		{ID: "run-000008", Seq: 8, Kind: "table1", Outcome: "cache-hit",
+			Request: []byte(`{"case":1}`), BodySHA256: sha("t")},
+	}
+	writeLedger(t, path, 0, recs)
+
+	items, err := Load(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for _, it := range items {
+		ids = append(ids, it.RunID)
+	}
+	want := "run-000001 run-000003 run-000007 run-000008"
+	if got := strings.Join(ids, " "); got != want {
+		t.Fatalf("Load kept %q, want %q", got, want)
+	}
+	if items[2].Method != http.MethodGet || items[2].Path != "/v1/layout.svg" {
+		t.Errorf("layout.svg mapped to %s %s", items[2].Method, items[2].Path)
+	}
+	if items[0].Method != http.MethodPost || items[0].Path != "/v1/synthesize" {
+		t.Errorf("synthesize mapped to %s %s", items[0].Method, items[0].Path)
+	}
+
+	withKids, err := Load(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(withKids) != len(items)+1 {
+		t.Fatalf("includeChildren added %d items, want 1", len(withKids)-len(items))
+	}
+}
+
+func TestLoadAcrossRotationSortsBySeq(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "runs.jsonl")
+	var recs []obs.RunRecord
+	for i := 1; i <= 30; i++ {
+		recs = append(recs, obs.RunRecord{
+			ID: fmt.Sprintf("run-%06d", i), Seq: int64(i), Kind: "synthesize",
+			Outcome: "ok", Request: []byte(`{"spec":{"gbw_hz":1e6}}`), BodySHA256: sha("x"),
+		})
+	}
+	writeLedger(t, path, 1024, recs) // tiny cap: forces rotation mid-stream
+	if _, err := os.Stat(path + ".1"); err != nil {
+		t.Fatalf("ledger never rotated: %v", err)
+	}
+	items, err := Load(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(items); i++ {
+		if items[i].Seq != items[i-1].Seq+1 {
+			t.Fatalf("replay order has a gap: seq %d then %d", items[i-1].Seq, items[i].Seq)
+		}
+	}
+	if items[len(items)-1].Seq != 30 {
+		t.Fatalf("last item seq %d, want 30", items[len(items)-1].Seq)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Load(filepath.Join(dir, "absent.jsonl"), false); err == nil {
+		t.Fatal("Load on a missing ledger must error")
+	}
+	// A ledger with records but no replayable requests names the cause.
+	path := filepath.Join(dir, "old.jsonl")
+	writeLedger(t, path, 0, []obs.RunRecord{
+		{ID: "run-000001", Seq: 1, Kind: "synthesize", Outcome: "ok"},
+	})
+	_, err := Load(path, false)
+	if err == nil || !strings.Contains(err.Error(), "predates request recording") {
+		t.Fatalf("want the pre-recording hint, got %v", err)
+	}
+}
+
+func TestPercentilesNearestRank(t *testing.T) {
+	ds := make([]time.Duration, 100)
+	for i := range ds {
+		ds[i] = time.Duration(i+1) * time.Millisecond // 1..100ms
+	}
+	p50, p90, p99 := percentiles(ds)
+	if p50 != 50*time.Millisecond || p90 != 90*time.Millisecond || p99 != 99*time.Millisecond {
+		t.Fatalf("percentiles = %v %v %v", p50, p90, p99)
+	}
+	if a, b, c := percentiles(nil); a != 0 || b != 0 || c != 0 {
+		t.Fatal("empty percentiles must be zero")
+	}
+	one, _, _ := percentiles([]time.Duration{7 * time.Millisecond})
+	if one != 7*time.Millisecond {
+		t.Fatalf("single-sample p50 = %v", one)
+	}
+}
+
+// TestRunClassifiesAndChecksIdentity replays against a stub daemon that
+// serves each endpoint deterministically and labels responses with the
+// X-Loas-Cache header, verifying outcome counting and byte identity.
+func TestRunClassifiesAndChecksIdentity(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		switch r.URL.Path {
+		case "/v1/synthesize":
+			w.Header().Set("X-Loas-Cache", "hit")
+			fmt.Fprint(w, `{"result":"synth"}`)
+		case "/v1/table1":
+			// No cache header: classified as a miss.
+			fmt.Fprint(w, `{"result":"DIFFERENT"}`)
+		case "/v1/mc":
+			w.Header().Set("X-Loas-Cache", "dedup")
+			fmt.Fprint(w, `{"result":"mc"}`)
+		case "/v1/batch":
+			http.Error(w, "queue full", http.StatusServiceUnavailable)
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer srv.Close()
+
+	items := []Item{
+		{Seq: 1, RunID: "run-000001", Kind: "synthesize", Method: "POST", Path: "/v1/synthesize",
+			Body: []byte(`{}`), WantSHA: sha(`{"result":"synth"}`)},
+		{Seq: 2, RunID: "run-000002", Kind: "table1", Method: "POST", Path: "/v1/table1",
+			Body: []byte(`{}`), WantSHA: sha(`{"result":"table1"}`)}, // daemon now answers differently
+		{Seq: 3, RunID: "run-000003", Kind: "mc", Method: "POST", Path: "/v1/mc",
+			Body: []byte(`{}`), WantSHA: sha(`{"result":"mc"}`)},
+		{Seq: 4, RunID: "run-000004", Kind: "batch", Method: "POST", Path: "/v1/batch",
+			Body: []byte(`{}`), WantSHA: sha("whatever")},
+		{Seq: 5, RunID: "run-000005", Kind: "explore", Method: "POST", Path: "/v1/nosuch",
+			Body: []byte(`{}`), WantSHA: sha("x")},
+	}
+	rep, err := Run(context.Background(), Config{BaseURL: srv.URL, Concurrency: 2}, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sent != 5 || rep.Items != 5 {
+		t.Fatalf("sent %d of %d", rep.Sent, rep.Items)
+	}
+	// /v1/nosuch returns 404 → error class; the no-header 200 is a miss.
+	if rep.Hits != 1 || rep.Misses != 1 || rep.Dedup != 1 || rep.Shed != 1 || rep.Errors != 1 {
+		t.Fatalf("outcomes: hit=%d miss=%d dedup=%d shed=%d err=%d",
+			rep.Hits, rep.Misses, rep.Dedup, rep.Shed, rep.Errors)
+	}
+	if rep.Errors+rep.Hits+rep.Misses+rep.Dedup+rep.Shed != 5 {
+		t.Fatalf("classes don't sum to sent: %+v", rep)
+	}
+	if rep.Checked != 3 || rep.Matched != 2 {
+		t.Fatalf("identity: checked=%d matched=%d, want 3/2", rep.Checked, rep.Matched)
+	}
+	if len(rep.Mismatches) != 1 || rep.Mismatches[0].RunID != "run-000002" {
+		t.Fatalf("mismatches = %+v", rep.Mismatches)
+	}
+	if rep.Throughput <= 0 {
+		t.Fatalf("throughput %v", rep.Throughput)
+	}
+	text := rep.Text()
+	for _, want := range []string{"replayed 5/5", "1 hit", "1 miss", "1 dedup", "1 shed", "2/3 responses byte-identical", "MISMATCH seq 2"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("report text missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// A non-200, non-503 status is an error, never a miss, and carries no
+// identity check (comparing an error page's hash would be noise).
+func TestRunNotFoundIsError(t *testing.T) {
+	srv := httptest.NewServer(http.NotFoundHandler())
+	defer srv.Close()
+	rep, err := Run(context.Background(), Config{BaseURL: srv.URL}, []Item{
+		{Seq: 1, Kind: "synthesize", Method: "POST", Path: "/v1/synthesize", Body: []byte(`{}`), WantSHA: sha("x")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 1 || rep.Checked != 0 {
+		t.Fatalf("404 classified as errors=%d checked=%d, want 1/0", rep.Errors, rep.Checked)
+	}
+}
+
+func TestRunDispatchOrderSerial(t *testing.T) {
+	var order []string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		order = append(order, r.URL.Path)
+		fmt.Fprint(w, "ok")
+	}))
+	defer srv.Close()
+	items := []Item{
+		{Seq: 1, Kind: "synthesize", Method: "POST", Path: "/v1/synthesize", Body: []byte(`{}`)},
+		{Seq: 2, Kind: "table1", Method: "POST", Path: "/v1/table1", Body: []byte(`{}`)},
+		{Seq: 3, Kind: "mc", Method: "POST", Path: "/v1/mc", Body: []byte(`{}`)},
+	}
+	// Concurrency 1: arrival order must be exactly the recorded order.
+	if _, err := Run(context.Background(), Config{BaseURL: srv.URL, Concurrency: 1}, items); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(order, " "); got != "/v1/synthesize /v1/table1 /v1/mc" {
+		t.Fatalf("serial dispatch order = %q", got)
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+		fmt.Fprint(w, "ok")
+	}))
+	defer srv.Close()
+	defer close(release)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	items := make([]Item, 50)
+	for i := range items {
+		items[i] = Item{Seq: int64(i + 1), Kind: "synthesize", Method: "POST",
+			Path: "/v1/synthesize", Body: []byte(`{}`)}
+	}
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	rep, err := Run(ctx, Config{BaseURL: srv.URL, Concurrency: 2, Timeout: time.Second}, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sent >= len(items) {
+		t.Fatalf("cancellation did not stop dispatch: sent %d of %d", rep.Sent, rep.Items)
+	}
+}
+
+func TestRunRequiresBaseURL(t *testing.T) {
+	if _, err := Run(context.Background(), Config{}, nil); err == nil {
+		t.Fatal("want error for empty BaseURL")
+	}
+}

@@ -208,6 +208,7 @@ func (b *StdBackend) Synthesize(ctx context.Context, spec sizing.OTASpec, req *S
 		Layout:         req.Layout,
 		MaxLayoutCalls: req.MaxLayoutCalls,
 		SkipVerify:     req.SkipVerify,
+		Ctx:            ctx,
 		Span:           obs.SpanFromContext(ctx),
 		Trace:          obs.TraceFromContext(ctx),
 		Refine: core.RefineOptions{
@@ -233,6 +234,7 @@ func (b *StdBackend) Synthesize(ctx context.Context, spec sizing.OTASpec, req *S
 // "case" span per concurrent synthesis.
 func (b *StdBackend) Table1(ctx context.Context, spec sizing.OTASpec) ([]byte, error) {
 	cases, err := repro.Table1Opts(b.Tech, spec, core.Options{
+		Ctx:   ctx,
 		Span:  obs.SpanFromContext(ctx),
 		Trace: obs.TraceFromContext(ctx),
 	})
@@ -295,6 +297,7 @@ func RunMC(ctx context.Context, tech *techno.Tech, spec sizing.OTASpec, topology
 		Temp:    tech.Temp,
 		NodeSet: d.NodeSet(),
 		Workers: workers,
+		Ctx:     ctx,
 		Span:    obs.SpanFromContext(ctx),
 	}
 	stats, err := mc.RunOffset(cfg, n, seed)

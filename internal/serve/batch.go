@@ -148,7 +148,17 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.batchRequests.Inc()
 	s.batchItems.Add(int64(len(items)))
 	s.batchSize.Observe(float64(len(items)))
-	info := runInfo{kind: "batch", key: batchKey(keys)}
+	// Record the normalized batch with resolved specs embedded, so a
+	// replayed batch re-keys identically even under different server
+	// defaults. recordRequest bounds nothing — finishRun drops bodies
+	// over maxRecordedRequest.
+	recItems := make([]sizingItem, len(items))
+	for i := range items {
+		recItems[i] = items[i].req
+		recItems[i].Spec = &items[i].spec
+	}
+	info := runInfo{kind: "batch", key: batchKey(keys),
+		request: recordRequest(BatchRequest{Items: recItems, Limit: req.Limit, Offset: req.Offset})}
 	ar := s.beginRun(info, start)
 	ar.root.SetAttr("items", fmt.Sprintf("%d", len(items)))
 	ar.root.SetAttr("unique", fmt.Sprintf("%d", len(unique)))
@@ -200,11 +210,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	body, err := marshalJSON(rep)
 	if err != nil {
-		s.finishRun(ar, outcomeError, err, 0)
+		s.finishRun(ar, outcomeError, err, nil)
 		s.fail(w, err)
 		return
 	}
-	s.finishRun(ar, outcome, runErr, len(body))
+	s.finishRun(ar, outcome, runErr, body)
 	s.events.publish("batch-end", batchEndEvent{
 		ID: ar.id, Outcome: outcome, Items: len(items), Errors: errs,
 		DurationNS: time.Since(start).Nanoseconds(),
@@ -216,9 +226,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // cache → singleflight → queue path and narrates it on /v1/events.
 // Item failures are report data, not batch failures.
 func (s *Server) runBatchItem(parentID string, i int, it batchItem) BatchItemResult {
+	recReq := it.req
+	recReq.Spec = &it.spec
 	info := runInfo{
 		kind: "synthesize", topology: it.req.Topology, layout: it.req.Layout, caseN: it.req.Case,
 		key: it.key, specDigest: specDigest(s.tech, it.spec), parent: parentID,
+		request: recordRequest(recReq),
 	}
 	child := s.beginRun(info, time.Now())
 	req := it.req
@@ -236,11 +249,11 @@ func (s *Server) runBatchItem(parentID string, i int, it batchItem) BatchItemRes
 	}
 	if err != nil {
 		s.batchItemErrors.Inc()
-		s.finishRun(child, outcomeError, err, 0)
+		s.finishRun(child, outcomeError, err, nil)
 		res.Outcome = outcomeError
 		res.Error = err.Error()
 	} else {
-		s.finishRun(child, outcome, nil, len(v.Body))
+		s.finishRun(child, outcome, nil, v.Body)
 		res.Outcome = outcome
 		res.Cache = cacheSource(outcome)
 		res.Summary = json.RawMessage(v.Body)

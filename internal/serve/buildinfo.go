@@ -1,0 +1,52 @@
+package serve
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+// BuildVersion identifies the running binary for /healthz and the
+// loas_build_info metric: the module version when the binary was built
+// with `go install module@version`, else the VCS revision (short hash,
+// "+dirty" when the tree had local edits), else "unknown". Computed
+// once — debug.ReadBuildInfo walks the embedded build info each call.
+func BuildVersion() string {
+	buildVersionOnce.Do(func() {
+		buildVersion = computeBuildVersion(debug.ReadBuildInfo())
+	})
+	return buildVersion
+}
+
+var (
+	buildVersionOnce sync.Once
+	buildVersion     string
+)
+
+func computeBuildVersion(bi *debug.BuildInfo, ok bool) string {
+	if !ok || bi == nil {
+		return "unknown"
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	var rev string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "unknown"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		rev += "+dirty"
+	}
+	return rev
+}

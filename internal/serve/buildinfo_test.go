@@ -1,0 +1,45 @@
+package serve
+
+import (
+	"runtime/debug"
+	"testing"
+)
+
+func TestComputeBuildVersion(t *testing.T) {
+	rev := "0123456789abcdef0123456789abcdef01234567"
+	cases := []struct {
+		name string
+		bi   *debug.BuildInfo
+		ok   bool
+		want string
+	}{
+		{"no build info", nil, false, "unknown"},
+		{"module version wins",
+			&debug.BuildInfo{Main: debug.Module{Version: "v1.2.3"}}, true, "v1.2.3"},
+		{"devel falls through to vcs",
+			&debug.BuildInfo{Main: debug.Module{Version: "(devel)"}, Settings: []debug.BuildSetting{
+				{Key: "vcs.revision", Value: rev},
+			}}, true, rev[:12]},
+		{"dirty tree marked",
+			&debug.BuildInfo{Settings: []debug.BuildSetting{
+				{Key: "vcs.revision", Value: rev},
+				{Key: "vcs.modified", Value: "true"},
+			}}, true, rev[:12] + "+dirty"},
+		{"short revision kept whole",
+			&debug.BuildInfo{Settings: []debug.BuildSetting{
+				{Key: "vcs.revision", Value: "abc123"},
+			}}, true, "abc123"},
+		{"nothing to go on", &debug.BuildInfo{}, true, "unknown"},
+	}
+	for _, tc := range cases {
+		if got := computeBuildVersion(tc.bi, tc.ok); got != tc.want {
+			t.Errorf("%s: computeBuildVersion = %q, want %q", tc.name, got, tc.want)
+		}
+	}
+	if BuildVersion() == "" {
+		t.Error("BuildVersion() must never be empty")
+	}
+	if BuildVersion() != BuildVersion() {
+		t.Error("BuildVersion() must be stable")
+	}
+}

@@ -208,7 +208,8 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	evRequests.Add(1)
 	s.exploreRequests.Inc()
-	info := runInfo{kind: "explore", layout: req.Layout, key: req.cacheKey(s.tech, bases)}
+	info := runInfo{kind: "explore", layout: req.Layout, key: req.cacheKey(s.tech, bases),
+		request: recordRequest(&req)}
 	if len(req.Topologies) == 1 {
 		info.topology = req.Topologies[0]
 	}
@@ -219,7 +220,7 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	lookup.End()
 	if ok {
 		evCacheHits.Add(1)
-		s.finishRun(ar, outcomeCacheHit, nil, len(v.Body))
+		s.finishRun(ar, outcomeCacheHit, nil, v.Body)
 		s.write(w, v, info.key, "hit", start)
 		return
 	}
@@ -243,7 +244,7 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		evDedupJoined.Add(1)
 	}
 	if err != nil {
-		s.finishRun(ar, outcomeError, err, 0)
+		s.finishRun(ar, outcomeError, err, nil)
 		s.fail(w, err)
 		return
 	}
@@ -251,7 +252,7 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	if shared {
 		outcome = outcomeDedup
 	}
-	s.finishRun(ar, outcome, nil, len(v.Body))
+	s.finishRun(ar, outcome, nil, v.Body)
 	s.write(w, v, info.key, cacheSource(outcome), start)
 }
 
@@ -326,9 +327,12 @@ func (p *poolProber) Probe(_ context.Context, topology string, spec sizing.OTASp
 		return explore.Metrics{}, false, "", err
 	}
 	key := req.cacheKey(s.tech, spec)
+	recReq := req
+	recReq.Spec = &spec
 	info := runInfo{
 		kind: "synthesize", topology: topology, caseN: req.Case, layout: req.Layout,
 		key: key, specDigest: specDigest(s.tech, spec), parent: p.parent.id,
+		request: recordRequest(recReq),
 	}
 	child := s.beginRun(info, time.Now())
 	v, outcome, err := s.executeKeyed(child, "application/json",
@@ -342,7 +346,7 @@ func (p *poolProber) Probe(_ context.Context, topology string, spec sizing.OTASp
 	idx := int(p.done.Add(1)) - 1
 	ev := batchItemEvent{Parent: p.parent.id, Index: idx, Topology: topology, Case: req.Case}
 	if err != nil {
-		s.finishRun(child, outcomeError, err, 0)
+		s.finishRun(child, outcomeError, err, nil)
 		ev.Outcome = outcomeError
 		ev.Error = err.Error()
 		s.events.publish("batch-item", ev)
@@ -354,7 +358,7 @@ func (p *poolProber) Probe(_ context.Context, topology string, spec sizing.OTASp
 		// deterministic for a given spec, so it may shape the front.
 		return explore.Metrics{}, false, err.Error(), nil
 	}
-	s.finishRun(child, outcome, nil, len(v.Body))
+	s.finishRun(child, outcome, nil, v.Body)
 	s.exploreProbes.Inc()
 	ev.Outcome = outcome
 	ev.Cache = cacheSource(outcome)

@@ -3,6 +3,8 @@ package serve
 import (
 	"net/http"
 	"net/http/pprof"
+	"runtime"
+	"strconv"
 
 	"loas/internal/obs"
 )
@@ -32,6 +34,13 @@ var frontSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128}
 func (s *Server) initMetrics() {
 	r := obs.NewRegistry()
 	s.reg = r
+	r.InfoGauge("loas_build_info",
+		"build identity of the running daemon (constant 1)",
+		map[string]string{
+			"version":    BuildVersion(),
+			"go":         runtime.Version(),
+			"gomaxprocs": strconv.Itoa(runtime.GOMAXPROCS(0)),
+		})
 	s.latency = r.Histogram("loas_synth_latency_seconds",
 		"request latency of result endpoints (cache hits and backend runs)", latencyBuckets)
 	s.queueWait = r.Histogram("loas_queue_wait_seconds",

@@ -1,0 +1,225 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+	"testing"
+
+	"loas/internal/obs"
+	"loas/internal/replay"
+)
+
+// TestHealthzBuildStamp: /healthz carries the build stamp so one probe
+// identifies what is running where (satellite: build identity).
+func TestHealthzBuildStamp(t *testing.T) {
+	_, ts := newStubServer(t, Config{}, &stubBackend{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rep HealthReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != "ok" {
+		t.Errorf("status = %q", rep.Status)
+	}
+	if rep.Version == "" {
+		t.Error("version empty — BuildVersion must always report something (\"unknown\" at worst)")
+	}
+	if rep.GoVersion != runtime.Version() {
+		t.Errorf("go_version = %q, want %q", rep.GoVersion, runtime.Version())
+	}
+	if rep.GOMAXPROCS < 1 {
+		t.Errorf("gomaxprocs = %d", rep.GOMAXPROCS)
+	}
+}
+
+// TestMetricsBuildInfo: the loas_build_info gauge is on /metrics with
+// the version/go labels and the constant value 1.
+func TestMetricsBuildInfo(t *testing.T) {
+	_, ts := newStubServer(t, Config{}, &stubBackend{})
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	out := string(data)
+	if !strings.Contains(out, "# TYPE loas_build_info gauge") {
+		t.Errorf("/metrics missing loas_build_info TYPE header:\n%.2000s", out)
+	}
+	want := fmt.Sprintf(`go="%s"`, runtime.Version())
+	if !strings.Contains(out, want) || !strings.Contains(out, `version="`) {
+		t.Errorf("/metrics loas_build_info missing %s / version label:\n%.2000s", want, out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "loas_build_info{") && !strings.HasSuffix(line, " 1") {
+			t.Errorf("build info gauge not constant 1: %q", line)
+		}
+	}
+}
+
+// TestExecuteKeyedLabelsLeader: while a cold run executes, the pool
+// worker carries the request's pprof labels (phase/layout/run_id), so
+// profile samples attribute to the request. The stub blocks inside the
+// backend; the goroutine profile is captured mid-flight.
+func TestExecuteKeyedLabelsLeader(t *testing.T) {
+	stub := &stubBackend{started: make(chan struct{}), release: make(chan struct{})}
+	_, ts := newStubServer(t, Config{}, stub)
+
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/synthesize", "application/json",
+			strings.NewReader(`{"case":3}`))
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+	<-stub.started
+	var buf bytes.Buffer
+	if err := pprof.Lookup("goroutine").WriteTo(&buf, 1); err != nil {
+		t.Fatal(err)
+	}
+	close(stub.release)
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	prof := buf.String()
+	for _, want := range []string{`"phase":"synthesize"`, `"layout":"slicing"`, `"run_id":"run-`} {
+		if !strings.Contains(prof, want) {
+			t.Errorf("goroutine profile missing %s while the leader ran:\n%s", want, prof)
+		}
+	}
+}
+
+// TestLedgerReplayEndToEnd is the tentpole's closed loop: a daemon
+// records its traffic (through a rotating ledger), and `loas replay`'s
+// engine turns the ledger back into the same traffic — continuous
+// sequence numbers across the rotation boundary, every response
+// byte-identical to the recorded SHA-256 (the warm daemon serves them
+// from cache).
+func TestLedgerReplayEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "runs.jsonl")
+	// MaxBytes sized so the workload (~24 KiB of records, ~1 KiB each)
+	// crosses the rotation boundary exactly once — both generations stay
+	// readable and no record is dropped.
+	ledger, err := obs.OpenLedger(path, obs.LedgerOptions{MaxBytes: 16 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ledger.Close() })
+	_, ts := newStubServer(t, Config{Ledger: ledger}, &stubBackend{})
+
+	// Distinct specs → distinct cache keys → every run is a cold "ok"
+	// run with its own recorded request and response hash.
+	spec := func(gbwMHz int) string {
+		return fmt.Sprintf(`{"spec":{"vdd":3.3,"gbw":%d000000,"pm":65,"cl":3e-12,"icm_low":-0.55,"icm_high":1.84,"out_low":0.51,"out_high":2.31}}`, gbwMHz)
+	}
+	const n = 24
+	for i := 0; i < n; i++ {
+		resp, data := post(t, ts.URL+"/v1/synthesize", spec(60+i))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, resp.StatusCode, data)
+		}
+	}
+	// One duplicate: recorded as a cache-hit run, still replayable.
+	post(t, ts.URL+"/v1/synthesize", spec(60))
+
+	if _, err := os.Stat(path + ".1"); err != nil {
+		t.Fatalf("workload did not cross a rotation (records too small?): %v", err)
+	}
+
+	items, err := replay.Load(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No drops across rotation: one item per request, strictly
+	// consecutive sequence numbers.
+	if len(items) != n+1 {
+		t.Fatalf("loaded %d items, want %d", len(items), n+1)
+	}
+	for i := 1; i < len(items); i++ {
+		if items[i].Seq != items[i-1].Seq+1 {
+			t.Fatalf("sequence gap across rotation: %d then %d", items[i-1].Seq, items[i].Seq)
+		}
+	}
+	for _, it := range items {
+		if it.WantSHA == "" || len(it.Body) == 0 {
+			t.Fatalf("item %s not replayable: sha=%q len(body)=%d", it.RunID, it.WantSHA, len(it.Body))
+		}
+	}
+
+	// Replay against the same (warm) daemon: every response must be a
+	// cache hit and byte-identical to the recorded hash.
+	rep, err := replay.Run(context.Background(), replay.Config{
+		BaseURL: ts.URL, Concurrency: 4,
+	}, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sent != len(items) {
+		t.Fatalf("sent %d of %d", rep.Sent, rep.Items)
+	}
+	if rep.Hits != len(items) {
+		t.Fatalf("warm replay: %d hits of %d (miss=%d dedup=%d shed=%d err=%d)",
+			rep.Hits, len(items), rep.Misses, rep.Dedup, rep.Shed, rep.Errors)
+	}
+	if rep.Checked != len(items) || rep.Matched != len(items) {
+		t.Fatalf("byte identity: matched %d / checked %d of %d; mismatches: %+v",
+			rep.Matched, rep.Checked, len(items), rep.Mismatches)
+	}
+}
+
+// TestRecordedRequestIsSelfContained: the ledger records the request
+// with the resolved spec embedded, so replaying it against a daemon
+// configured with a different default spec still reproduces the
+// recorded result (the recorded body does not depend on server config).
+func TestRecordedRequestIsSelfContained(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "runs.jsonl")
+	ledger, err := obs.OpenLedger(path, obs.LedgerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ledger.Close() })
+	_, ts := newStubServer(t, Config{Ledger: ledger}, &stubBackend{})
+
+	// A spec-less request resolves against the server default.
+	resp, _ := post(t, ts.URL+"/v1/synthesize", `{"case":2}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	items, err := replay.Load(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 1 {
+		t.Fatalf("loaded %d items", len(items))
+	}
+	var req struct {
+		Spec *struct {
+			GBW float64 `json:"gbw"`
+			VDD float64 `json:"vdd"`
+		} `json:"spec"`
+	}
+	if err := json.Unmarshal(items[0].Body, &req); err != nil {
+		t.Fatal(err)
+	}
+	if req.Spec == nil || req.Spec.GBW <= 0 || req.Spec.VDD <= 0 {
+		t.Fatalf("recorded request does not embed the resolved spec: %s", items[0].Body)
+	}
+}

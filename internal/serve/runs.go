@@ -1,6 +1,9 @@
 package serve
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"sort"
@@ -34,6 +37,25 @@ type runInfo struct {
 	key        string // content-addressed cache key
 	specDigest string
 	parent     string // batch/explore run ID this run is a child of
+	// request is the canonicalized request body (compact JSON with the
+	// resolved spec embedded) recorded into the ledger for `loas replay`.
+	// nil for GET-style runs; bodies over maxRecordedRequest are dropped
+	// at finish so one giant batch cannot blow the ledger's rotation.
+	request []byte
+}
+
+// maxRecordedRequest bounds the request body copied into a RunRecord.
+const maxRecordedRequest = 256 << 10
+
+// recordRequest renders v as the runInfo.request canonical compact
+// form, dropping it (nil, no error surfaced — recording is advisory)
+// if encoding fails.
+func recordRequest(v any) []byte {
+	b, err := marshalCompact(v)
+	if err != nil {
+		return nil
+	}
+	return b
 }
 
 // activeRun is a run in flight: its recorder, root span and live trace.
@@ -80,9 +102,10 @@ func (s *Server) beginRun(info runInfo, start time.Time) *activeRun {
 	return ar
 }
 
-// finishRun closes the run: ends the root span, freezes the record,
-// stores it, appends it to the ledger and announces run-end.
-func (s *Server) finishRun(ar *activeRun, outcome string, err error, bodyBytes int) {
+// finishRun closes the run: ends the root span, freezes the record
+// (body is the response; its size and SHA-256 make the record a replay
+// target), stores it, appends it to the ledger and announces run-end.
+func (s *Server) finishRun(ar *activeRun, outcome string, err error, body []byte) {
 	ar.root.End()
 	iters := ar.trace.Iterations()
 	rec := obs.RunRecord{
@@ -101,9 +124,16 @@ func (s *Server) finishRun(ar *activeRun, outcome string, err error, bodyBytes i
 		DurationNS:  ar.root.Duration().Nanoseconds(),
 		Converged:   obs.Converged(iters, 1e-15),
 		LayoutCalls: len(iters),
-		Bytes:       bodyBytes,
+		Bytes:       len(body),
 		Spans:       ar.rec.Snapshot(),
 		Iterations:  iters,
+	}
+	if len(body) > 0 {
+		sum := sha256.Sum256(body)
+		rec.BodySHA256 = hex.EncodeToString(sum[:])
+	}
+	if len(ar.info.request) > 0 && len(ar.info.request) <= maxRecordedRequest {
+		rec.Request = json.RawMessage(ar.info.request)
 	}
 	if err != nil {
 		rec.Error = err.Error()

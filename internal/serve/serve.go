@@ -39,6 +39,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"sync/atomic"
 	"time"
 
@@ -233,9 +234,28 @@ func (s *Server) Stats() Stats {
 	return st
 }
 
+// HealthReport is the GET /healthz payload: liveness plus the build
+// stamp, so one probe identifies what is running where.
+type HealthReport struct {
+	Status     string `json:"status"`
+	Version    string `json:"version"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	io.WriteString(w, "ok\n")
+	body, err := marshalJSON(HealthReport{
+		Status:     "ok",
+		Version:    BuildVersion(),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	})
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -264,8 +284,14 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := req.cacheKey(s.tech, spec)
+	// The recorded request embeds the resolved spec so replaying it
+	// against a daemon with different defaults still re-issues the same
+	// workload (the cache key hashes the resolved spec either way).
+	recReq := req
+	recReq.Spec = &spec
 	info := runInfo{kind: "synthesize", topology: req.Topology, caseN: req.Case,
-		layout: req.Layout, key: key, specDigest: specDigest(s.tech, spec)}
+		layout: req.Layout, key: key, specDigest: specDigest(s.tech, spec),
+		request: recordRequest(recReq)}
 	s.respond(w, info, "application/json",
 		func(ctx context.Context) ([]byte, error) {
 			body, iters, err := s.backend.Synthesize(ctx, spec, &req)
@@ -315,7 +341,8 @@ func (s *Server) handleTable1(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	info := runInfo{kind: "table1", key: req.cacheKey(s.tech, spec),
-		specDigest: specDigest(s.tech, spec)}
+		specDigest: specDigest(s.tech, spec),
+		request:    recordRequest(Table1Request{Spec: &spec})}
 	s.respond(w, info, "application/json",
 		func(ctx context.Context) ([]byte, error) {
 			return s.backend.Table1(ctx, spec)
@@ -337,8 +364,11 @@ func (s *Server) handleMC(w http.ResponseWriter, r *http.Request) {
 		s.badRequest(w, err)
 		return
 	}
+	recReq := req
+	recReq.Spec = &spec
 	info := runInfo{kind: "mc", topology: req.Topology, caseN: req.Case,
-		key: req.cacheKey(s.tech, spec), specDigest: specDigest(s.tech, spec)}
+		key: req.cacheKey(s.tech, spec), specDigest: specDigest(s.tech, spec),
+		request: recordRequest(recReq)}
 	s.respond(w, info, "application/json",
 		func(ctx context.Context) ([]byte, error) {
 			return s.backend.MC(ctx, spec, &req)
@@ -419,11 +449,11 @@ func (s *Server) respond(w http.ResponseWriter, info runInfo, contentType string
 
 	v, outcome, err := s.executeKeyed(ar, contentType, compute)
 	if err != nil {
-		s.finishRun(ar, outcomeError, err, 0)
+		s.finishRun(ar, outcomeError, err, nil)
 		s.fail(w, err)
 		return
 	}
-	s.finishRun(ar, outcome, nil, len(v.Body))
+	s.finishRun(ar, outcome, nil, v.Body)
 	s.write(w, v, info.key, cacheSource(outcome), start)
 }
 
@@ -466,6 +496,19 @@ func (s *Server) executeKeyed(ar *activeRun, contentType string,
 		// still get the result.
 		ctx, cancel := context.WithTimeout(context.Background(), s.timeout)
 		defer cancel()
+		// Label the execution context so CPU/heap profile samples taken
+		// anywhere under this run — pool worker, corner sweep, MC fan-out
+		// — attribute to the request that caused them. The engine layers
+		// finer phase labels (sizing, layout-extract, ...) on top.
+		lay := info.layout
+		if lay == "" {
+			lay = layout.DefaultBackend
+		}
+		ctx = obs.LabelCtx(ctx,
+			"phase", info.kind,
+			"topology", info.topology,
+			"layout", lay,
+			"run_id", ar.id)
 		var out Value
 		err := s.pool.Submit(ctx, func(ctx context.Context) error {
 			queueWait.End()
